@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Ablations of Border Control's design choices (beyond the paper's
+ * own sweeps):
+ *
+ *  1. Overlapped vs. serialized read checks — the §3.1.1 insight that
+ *     the flat table's single-access lookup can proceed in parallel
+ *     with the read. Serializing exposes the full check latency on
+ *     every miss path.
+ *  2. Full-flush+zero vs. selective per-page flush on permission
+ *     downgrades (§3.2.4's optimization), under a downgrade storm.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+using namespace bctrl;
+using namespace bctrl::bench;
+
+int
+main()
+{
+    banner("Ablation: Border Control design choices",
+           "design decisions of sections 3.1.1 and 3.2.4");
+
+    std::printf("1) Read-check overlap (BC-noBCC, where every check "
+                "pays the table latency)\n");
+    std::printf("%-11s %-22s %14s %14s %10s\n", "workload", "profile",
+                "overlapped(cy)", "serialized(cy)", "penalty");
+    for (GpuProfile profile : {GpuProfile::highlyThreaded,
+                               GpuProfile::moderatelyThreaded}) {
+        for (const std::string wl : {"bfs", "lud", "pathfinder"}) {
+            SystemConfig base;
+            base.safety = SafetyModel::borderControlNoBcc;
+            base.profile = profile;
+            RunResult overlap =
+                runOne(wl, SafetyModel::borderControlNoBcc, profile,
+                       base);
+            SystemConfig ser = base;
+            ser.bcSerializeReadChecks = true;
+            RunResult serial = runOne(
+                wl, SafetyModel::borderControlNoBcc, profile, ser);
+            std::printf("%-11s %-22s %14.0f %14.0f %9.2f%%\n",
+                        wl.c_str(), gpuProfileName(profile),
+                        overlap.gpuCycles, serial.gpuCycles,
+                        100.0 * (serial.gpuCycles / overlap.gpuCycles -
+                                 1.0));
+            std::fflush(stdout);
+        }
+    }
+
+    std::printf("\n2) Downgrade flush policy under a downgrade storm "
+                "(hotspot, 50k/s)\n");
+    std::printf("%-22s %16s %16s\n", "profile", "full+zero(cy)",
+                "selective(cy)");
+    for (GpuProfile profile : {GpuProfile::highlyThreaded,
+                               GpuProfile::moderatelyThreaded}) {
+        SystemConfig full;
+        full.profile = profile;
+        full.downgradesPerSecond = 50'000;
+        full.workloadScale = 2;
+        RunResult r_full = runOne(
+            "hotspot", SafetyModel::borderControlBcc, profile, full);
+        SystemConfig sel = full;
+        sel.selectiveFlush = true;
+        RunResult r_sel = runOne("hotspot",
+                                 SafetyModel::borderControlBcc,
+                                 profile, sel);
+        std::printf("%-22s %16.0f %16.0f  (%llu downgrades)\n",
+                    gpuProfileName(profile), r_full.gpuCycles,
+                    r_sel.gpuCycles,
+                    (unsigned long long)r_full.downgrades);
+        std::fflush(stdout);
+    }
+
+    std::printf("\nExpectations: serializing read checks costs "
+                "noticeably more than the\npaper's overlapped design, "
+                "and the selective flush is at least as fast as\nthe "
+                "full flush+zero under frequent downgrades.\n");
+    return 0;
+}

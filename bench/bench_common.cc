@@ -1,0 +1,55 @@
+#include "bench_common.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "sim/logging.hh"
+
+namespace bctrl {
+namespace bench {
+
+RunResult
+runOne(const std::string &workload, SafetyModel safety,
+       GpuProfile profile, const SystemConfig &base)
+{
+    setLogVerbose(false);
+    SystemConfig cfg = base;
+    cfg.safety = safety;
+    cfg.profile = profile;
+    System sys(cfg);
+    return sys.run(workload);
+}
+
+double
+geomeanOverhead(const std::vector<double> &overheads)
+{
+    if (overheads.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double o : overheads)
+        log_sum += std::log(1.0 + o);
+    return std::exp(log_sum / static_cast<double>(overheads.size())) -
+           1.0;
+}
+
+void
+banner(const std::string &title, const std::string &paper_ref)
+{
+    std::printf("\n%s\n", title.c_str());
+    for (std::size_t i = 0; i < title.size(); ++i)
+        std::printf("=");
+    std::printf("\n(reproduces %s of Olson et al., \"Border Control: "
+                "Sandboxing Accelerators\", MICRO-48, 2015)\n\n",
+                paper_ref.c_str());
+}
+
+std::string
+pct(double overhead)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.2f%%", 100.0 * overhead);
+    return buf;
+}
+
+} // namespace bench
+} // namespace bctrl

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Shared helpers for the table/figure reproduction harnesses: run a
+ * (workload, safety model, profile) combination, compute overheads
+ * against the unsafe baseline, and print aligned rows.
+ */
+
+#ifndef BCTRL_BENCH_COMMON_HH
+#define BCTRL_BENCH_COMMON_HH
+
+#include <string>
+#include <vector>
+
+#include "config/system_builder.hh"
+
+namespace bctrl {
+namespace bench {
+
+/** Run one configuration of one workload on a fresh system. */
+RunResult runOne(const std::string &workload, SafetyModel safety,
+                 GpuProfile profile, const SystemConfig &base = {});
+
+/** Geometric mean of (1 + overhead) values, returned as overhead. */
+double geomeanOverhead(const std::vector<double> &overheads);
+
+/** Print a banner for a table/figure. */
+void banner(const std::string &title, const std::string &paper_ref);
+
+/** Format an overhead as a percentage string. */
+std::string pct(double overhead);
+
+} // namespace bench
+} // namespace bctrl
+
+#endif // BCTRL_BENCH_COMMON_HH

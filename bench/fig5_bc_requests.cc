@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Figure 5: requests per cycle checked by Border Control for the
+ * highly threaded GPU. Paper: ~0.025 (backprop) to ~0.29 (bfs),
+ * average ~0.11 — demonstrating that Border Control bandwidth is not
+ * a bottleneck because the private accelerator caches filter traffic.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+using namespace bctrl;
+using namespace bctrl::bench;
+
+int
+main()
+{
+    banner("Figure 5: Requests per cycle checked by Border Control",
+           "Figure 5");
+
+    std::printf("%-11s %14s %12s %14s\n", "workload", "border reqs",
+                "GPU cycles", "reqs/cycle");
+
+    double sum = 0;
+    double min_rate = 1e9, max_rate = 0;
+    std::string min_wl, max_wl;
+    for (const auto &wl : rodiniaWorkloadNames()) {
+        RunResult r = runOne(wl, SafetyModel::borderControlBcc,
+                             GpuProfile::highlyThreaded);
+        std::printf("%-11s %14llu %12.0f %14.4f\n", wl.c_str(),
+                    (unsigned long long)r.borderRequests, r.gpuCycles,
+                    r.borderRequestsPerCycle);
+        sum += r.borderRequestsPerCycle;
+        if (r.borderRequestsPerCycle < min_rate) {
+            min_rate = r.borderRequestsPerCycle;
+            min_wl = wl;
+        }
+        if (r.borderRequestsPerCycle > max_rate) {
+            max_rate = r.borderRequestsPerCycle;
+            max_wl = wl;
+        }
+        std::fflush(stdout);
+    }
+    const double avg = sum / rodiniaWorkloadNames().size();
+    std::printf("%-11s %14s %12s %14.4f\n", "AVG", "", "", avg);
+
+    std::printf("\nPaper: min backprop ~0.025, max bfs ~0.29, avg "
+                "~0.11.\n");
+    std::printf("Measured: min %s %.3f, max %s %.3f, avg %.3f\n",
+                min_wl.c_str(), min_rate, max_wl.c_str(), max_rate,
+                avg);
+
+    // Shape check: same extremes, average well below one request per
+    // cycle (Border Control bandwidth is not a bottleneck).
+    const bool ok = min_wl == "backprop" && max_wl == "bfs" && avg < 0.5;
+    std::printf("Reproduction %s\n", ok ? "MATCHES" : "DIFFERS");
+    return ok ? 0 : 1;
+}

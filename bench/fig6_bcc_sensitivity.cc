@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Figure 6: BCC miss ratio as BCC size grows, for 1 / 2 / 32 / 512
+ * pages per entry (2 / 4 / 64 / 1024 payload bits plus a 36-bit tag
+ * per entry), averaged over the seven workloads.
+ *
+ * Expected shape (paper §5.2.2): larger (subblocked) entries win
+ * decisively; at 512 pages/entry a ~1 KB BCC already has a miss ratio
+ * below 0.1%.
+ *
+ * Method: capture each workload's border-crossing PPN trace from one
+ * full-system run (via BorderControl's trace hook), then replay the
+ * traces through standalone BCC models of every geometry — the same
+ * trace-driven methodology architects use for cache sweeps.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bc/bcc.hh"
+#include "bc/protection_table.hh"
+#include "bench_common.hh"
+#include "sim/logging.hh"
+
+using namespace bctrl;
+using namespace bctrl::bench;
+
+namespace {
+
+/** Replay @p trace through a BCC geometry; @return the miss ratio. */
+double
+replay(const std::vector<Addr> &trace, unsigned entries,
+       unsigned pages_per_entry, const ProtectionTable &table)
+{
+    BorderControlCache::Params p;
+    p.entries = entries;
+    p.pagesPerEntry = pages_per_entry;
+    BorderControlCache bcc(p);
+    for (Addr ppn : trace) {
+        if (!bcc.lookup(ppn))
+            bcc.fill(ppn, table);
+    }
+    const double total =
+        static_cast<double>(bcc.hits() + bcc.misses());
+    return total == 0 ? 0.0 : bcc.misses() / total;
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Figure 6: BCC miss ratio vs. BCC size and pages per entry",
+           "Figure 6");
+    setLogVerbose(false);
+
+    // Capture border traces once per workload.
+    std::vector<std::vector<Addr>> traces;
+    for (const auto &wl : rodiniaWorkloadNames()) {
+        SystemConfig cfg;
+        cfg.safety = SafetyModel::borderControlBcc;
+        cfg.profile = GpuProfile::highlyThreaded;
+        System sys(cfg);
+        std::vector<Addr> trace;
+        sys.borderControl()->setCheckTraceHook(
+            [&trace](Addr ppn) { trace.push_back(ppn); });
+        sys.run(wl);
+        std::printf("captured %-11s: %zu border requests\n", wl.c_str(),
+                    trace.size());
+        traces.push_back(std::move(trace));
+    }
+
+    BackingStore store(1ULL << 31);
+    ProtectionTable table(store, 0, store.numPages());
+
+    const unsigned pages_per_entry[] = {1, 2, 32, 512};
+    const unsigned tag_bits = 36;
+    const unsigned sizes[] = {64, 128, 192, 256, 384, 512, 768, 1024};
+
+    std::printf("\n%-12s", "size(B)");
+    for (unsigned ppe : pages_per_entry)
+        std::printf("  %8u pg/e", ppe);
+    std::printf("\n");
+
+    double best_at_1k = 1.0;
+    for (unsigned size : sizes) {
+        std::printf("%-12u", size);
+        for (unsigned ppe : pages_per_entry) {
+            const unsigned bits_per_entry = tag_bits + 2 * ppe;
+            const unsigned entries = (size * 8) / bits_per_entry;
+            if (entries == 0) {
+                std::printf("  %13s", "-");
+                continue;
+            }
+            double sum = 0;
+            for (const auto &trace : traces)
+                sum += replay(trace, entries, ppe, table);
+            const double avg = sum / traces.size();
+            if (size == 1024 && ppe == 512)
+                best_at_1k = avg;
+            std::printf("  %12.4f%%", 100.0 * avg);
+        }
+        std::printf("\n");
+        std::fflush(stdout);
+    }
+
+    std::printf("\nPaper: with 512 pages/entry, a ~1 KB BCC averages "
+                "<0.1%% misses;\nsmall pages/entry leave the miss "
+                "ratio high at every size shown.\n");
+    std::printf("Measured at 1 KB / 512 pages/entry: %.4f%%\n",
+                100.0 * best_at_1k);
+    const bool ok = best_at_1k < 0.01;
+    std::printf("Reproduction %s\n", ok ? "MATCHES" : "DIFFERS");
+    return ok ? 0 : 1;
+}

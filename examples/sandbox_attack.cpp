@@ -1,0 +1,130 @@
+/**
+ * @file
+ * The paper's threat model (§2.1), demonstrated end to end.
+ *
+ * A "malicious accelerator" issues wild physical reads and writes, a
+ * stale writeback after a permission downgrade, and a forged-ASID
+ * request — first against the unsafe ATS-only baseline (attacks
+ * succeed: confidentiality and integrity of host memory are violated),
+ * then against Border Control (every attack is blocked and the OS is
+ * notified).
+ */
+
+#include <cstdio>
+
+#include "bc/attack.hh"
+#include "sim/logging.hh"
+
+using namespace bctrl;
+
+namespace {
+
+SystemConfig
+makeConfig(SafetyModel model)
+{
+    SystemConfig cfg;
+    cfg.safety = model;
+    cfg.physMemBytes = 512ULL * 1024 * 1024;
+    return cfg;
+}
+
+struct Scenario {
+    System sys;
+    Addr secretPa = 0;   ///< a victim process's page (never on accel)
+    Addr grantedPa = 0;  ///< page legitimately translated for the accel
+    Process *attacker = nullptr;
+
+    explicit Scenario(SafetyModel model) : sys(makeConfig(model))
+    {
+        // The victim: a process holding a secret, never scheduled on
+        // the accelerator.
+        Process &victim = sys.kernel().createProcess();
+        Addr va = victim.mmap(pageSize, Perms::readWrite(), true);
+        secretPa = victim.pageTable().walk(va).paddr;
+        sys.memory().write64(secretPa, 0x5ec2e7c0de5ec2e7ULL);
+
+        // The attacker: runs on the accelerator, with one page of its
+        // own legitimately translated.
+        attacker = &sys.kernel().createProcess();
+        Addr own = attacker->mmap(pageSize, Perms::readWrite(), true);
+        grantedPa = attacker->pageTable().walk(own).paddr;
+        sys.kernel().scheduleOnAccelerator(*attacker);
+        if (sys.borderControl() != nullptr) {
+            sys.borderControl()->onTranslation(
+                attacker->asid(), pageNumber(own),
+                pageNumber(grantedPa), Perms::readWrite(), false);
+        }
+    }
+};
+
+const char *
+verdict(bool blocked)
+{
+    return blocked ? "BLOCKED at the border" : "went through unchecked";
+}
+
+void
+attack(const char *label, SafetyModel model)
+{
+    std::printf("\n--- %s ---\n", label);
+    Scenario s(model);
+    AttackInjector inject(s.sys);
+
+    auto rd = inject.wildPhysicalRead(s.secretPa);
+    std::printf("  wild read of victim secret      : %s\n",
+                verdict(rd.blocked));
+    auto wr = inject.wildPhysicalWrite(s.secretPa);
+    std::printf("  wild write over victim secret   : %s\n",
+                verdict(wr.blocked));
+    auto forged = inject.forgedAsidRead(1234, 0x10000000);
+    std::printf("  forged-ASID virtual request     : %s\n",
+                verdict(forged.blocked));
+    auto own = inject.wildPhysicalRead(s.grantedPa);
+    std::printf("  access to legitimately granted  : %s\n",
+                own.blocked ? "blocked (!)"
+                            : "allowed, as it should be");
+    std::printf("  violations reported to the OS   : %zu\n",
+                s.sys.kernel().violations().size());
+}
+
+} // namespace
+
+int
+main()
+{
+    setLogVerbose(false);
+    std::printf("Border Control sandbox demonstration\n");
+    std::printf("=====================================\n");
+
+    attack("Unsafe baseline (ATS-only IOMMU): the paper's threat",
+           SafetyModel::atsOnlyIommu);
+    attack("Border Control (with BCC): the paper's defense",
+           SafetyModel::borderControlBcc);
+
+    // The stale-writeback scenario: a buggy TLB-shootdown
+    // implementation holding dirty data past a downgrade (§3.2.4).
+    std::printf("\n--- Stale writeback after downgrade (buggy "
+                "shootdown) ---\n");
+    Scenario s(SafetyModel::borderControlBcc);
+    Process &proc = *s.attacker;
+    Addr va = proc.mmap(pageSize, Perms::readWrite(), true);
+    WalkResult w = proc.pageTable().walk(va);
+    s.sys.borderControl()->onTranslation(proc.asid(), pageNumber(va),
+                                         pageNumber(w.paddr),
+                                         Perms::readWrite(), false);
+    bool done = false;
+    s.sys.kernel().downgradePage(proc, va, Perms::readOnly(),
+                                 [&]() { done = true; });
+    s.sys.eventQueue().run();
+    AttackInjector inject(s.sys);
+    auto stale = inject.staleWriteback(w.paddr);
+    std::printf("  downgrade completed             : %s\n",
+                done ? "yes" : "no");
+    std::printf("  stale dirty writeback           : %s\n",
+                verdict(stale.blocked));
+
+    std::printf("\nSummary: the request stream that compromises the "
+                "unsafe system is fully\ncontained by Border Control, "
+                "with the OS notified of each attempt.\n");
+    return 0;
+}

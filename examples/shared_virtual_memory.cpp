@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Shared virtual memory between CPU and accelerator — the tight
+ * integration the paper's introduction motivates ("pointer-is-a-
+ * pointer" semantics, no manual copies) and Border Control makes safe.
+ *
+ * A producer-consumer pipeline in one address space:
+ *   1. the CPU writes an input buffer (dirtying its own caches),
+ *   2. a GPU kernel streams the same buffer by virtual address — its
+ *      fills recall the CPU's dirty blocks through the coherence
+ *      point, and every border crossing is permission-checked,
+ *   3. the CPU reads back the GPU-written output buffer.
+ */
+
+#include <cstdio>
+
+#include "config/system_builder.hh"
+#include "sim/logging.hh"
+#include "workloads/micro.hh"
+
+using namespace bctrl;
+
+int
+main()
+{
+    setLogVerbose(false);
+    SystemConfig cfg;
+    cfg.safety = SafetyModel::borderControlBcc;
+    cfg.physMemBytes = 512ULL * 1024 * 1024;
+    System sys(cfg);
+
+    std::printf("Shared virtual memory: CPU -> GPU -> CPU pipeline\n");
+    std::printf("=================================================\n\n");
+
+    Process &proc = sys.kernel().createProcess();
+    const Addr buf_bytes = 256 * 1024;
+    // One region, one pointer, both engines: the GPU will stream the
+    // same virtual addresses the CPU wrote.
+    const Addr buf = proc.mmap(buf_bytes, Perms::readWrite());
+    std::printf("process %u maps a %llu KB shared buffer at 0x%llx\n",
+                proc.asid(), (unsigned long long)(buf_bytes / 1024),
+                (unsigned long long)buf);
+
+    // Phase 1: CPU produces the input (demand-paging as it goes).
+    sys.cpu().bindProcess(proc);
+    std::vector<CpuOp> produce;
+    for (Addr off = 0; off < buf_bytes; off += 64)
+        produce.push_back(CpuOp{buf + off, true, 8, 2});
+    bool produced = false;
+    sys.cpu().run(std::move(produce), [&]() { produced = true; });
+    sys.eventQueue().run();
+    std::printf("CPU produced %llu ops (%llu demand faults, dirty "
+                "blocks in CPU caches)\n",
+                (unsigned long long)sys.cpu().opsExecuted(),
+                (unsigned long long)proc.faultsServiced());
+
+    // Phase 2: GPU consumes it. The stream workload walks the same
+    // region; because the CPU's copies are dirty, the accelerator's
+    // read-only fills force writebacks at the coherence point, and
+    // never hand the untrusted cache ownership (paper §3.4.3).
+    StreamWorkload kernel(1, 42);
+    kernel.configure(buf_bytes, 2, 0.5);
+    // Point the kernel at the very region the CPU just wrote: this is
+    // the "pointer-is-a-pointer" property of shared virtual memory.
+    kernel.useRegion(buf, buf_bytes);
+    kernel.setup(proc);
+    const auto recalls_before = sys.coherencePoint().recalls();
+    RunResult r = sys.run(kernel, proc);
+    std::printf("GPU kernel: %llu coalesced accesses, %llu border "
+                "checks, %llu violations\n",
+                (unsigned long long)r.memOps,
+                (unsigned long long)r.borderRequests,
+                (unsigned long long)r.violations);
+
+    // Phase 3: the GPU (as a rogue check) and the CPU read back.
+    std::vector<CpuOp> consume;
+    for (Addr off = 0; off < buf_bytes; off += 4096)
+        consume.push_back(CpuOp{buf + off, false, 8, 1});
+    bool consumed = false;
+    sys.cpu().bindProcess(proc);
+    sys.cpu().run(std::move(consume), [&]() { consumed = true; });
+    sys.eventQueue().run();
+
+    std::printf("CPU consumed the results (recalls across the border "
+                "so far: %llu)\n",
+                (unsigned long long)(sys.coherencePoint().recalls() -
+                                     recalls_before));
+
+    const bool ok = produced && consumed && r.violations == 0 &&
+                    sys.cpu().faults() == 0;
+    std::printf("\n%s\n",
+                ok ? "OK: one address space, two engines, zero copies "
+                     "- and the accelerator\nnever touched a byte the "
+                     "OS had not granted."
+                   : "UNEXPECTED failure in the pipeline!");
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,93 @@
+#include "bc/attack.hh"
+
+#include "sim/logging.hh"
+
+namespace bctrl {
+
+AttackInjector::Outcome
+AttackInjector::inject(const PacketPtr &pkt, bool via_border)
+{
+    Outcome outcome;
+    const Tick start = system_.eventQueue().curTick();
+    bool done = false;
+    pkt->issuedAt = start;
+    pkt->onResponse = [&](Packet &p) {
+        done = true;
+        outcome.responded = true;
+        outcome.blocked = p.denied;
+        outcome.latency = system_.eventQueue().curTick() - start;
+    };
+
+    MemDevice &target = via_border
+                            ? system_.borderDevice()
+                            : static_cast<MemDevice &>(system_.bus());
+    target.access(pkt);
+    system_.eventQueue().run();
+
+    if (!done) {
+        // Fire-and-forget paths (e.g. an unacknowledged writeback on
+        // the unsafe baseline) produce no response: the access went
+        // through unchecked.
+        outcome.responded = false;
+        outcome.blocked = false;
+    }
+    return outcome;
+}
+
+AttackInjector::Outcome
+AttackInjector::wildPhysicalRead(Addr paddr)
+{
+    auto pkt = Packet::make(MemCmd::Read, paddr, 64,
+                            Requestor::accelerator);
+    return inject(pkt, true);
+}
+
+AttackInjector::Outcome
+AttackInjector::wildPhysicalWrite(Addr paddr)
+{
+    auto pkt = Packet::make(MemCmd::Write, paddr, 64,
+                            Requestor::accelerator);
+    return inject(pkt, true);
+}
+
+AttackInjector::Outcome
+AttackInjector::staleWriteback(Addr paddr)
+{
+    auto pkt = Packet::make(MemCmd::Writeback, blockAlign(paddr),
+                            blockSize, Requestor::accelerator);
+    return inject(pkt, true);
+}
+
+AttackInjector::Outcome
+AttackInjector::forgedAsidRead(Asid asid, Addr vaddr)
+{
+    auto pkt =
+        Packet::make(MemCmd::Read, 0, 64, Requestor::accelerator, asid);
+    pkt->isVirtual = true;
+    pkt->vaddr = vaddr;
+
+    if (system_.iommuFrontend() != nullptr)
+        return inject(pkt, true);
+
+    // Configurations without a translate-at-border front end route
+    // virtual requests through the ATS the way the accelerator would;
+    // a forged ASID fails translation there.
+    Outcome outcome;
+    const Tick start = system_.eventQueue().curTick();
+    bool done = false;
+    system_.ats().translate(asid, vaddr, false,
+                            [&](bool ok, const TlbEntry &) {
+                                done = true;
+                                outcome.responded = true;
+                                outcome.blocked = !ok;
+                                outcome.latency =
+                                    system_.eventQueue().curTick() -
+                                    start;
+                            });
+    system_.eventQueue().run();
+    if (!done)
+        outcome.responded = false;
+    return outcome;
+}
+
+} // namespace bctrl

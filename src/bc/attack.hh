@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Attack and fault injection: the threat model of §2.1 made concrete.
+ *
+ * An AttackInjector plays the role of a buggy or malicious accelerator
+ * issuing requests that never came from the ATS: wild physical reads
+ * and writes, writebacks with stale permissions, and forged-ASID
+ * virtual requests. Requests are injected at exactly the point real
+ * accelerator traffic crosses the trusted border, so the outcome
+ * (blocked or not) reflects each safety configuration faithfully —
+ * including the unsafe ATS-only baseline, where attacks succeed.
+ */
+
+#ifndef BCTRL_BC_ATTACK_HH
+#define BCTRL_BC_ATTACK_HH
+
+#include "config/system_builder.hh"
+
+namespace bctrl {
+
+class AttackInjector
+{
+  public:
+    /** Result of one injected request. */
+    struct Outcome {
+        bool blocked = false;   ///< a safety mechanism denied it
+        bool responded = false; ///< a response came back at all
+        Tick latency = 0;       ///< injection-to-response time
+    };
+
+    /**
+     * @param system an idle system (no kernel running); the injector
+     *        drives the event queue synchronously.
+     */
+    explicit AttackInjector(System &system) : system_(system) {}
+
+    /** Read an arbitrary physical address the ATS never handed out. */
+    Outcome wildPhysicalRead(Addr paddr);
+
+    /** Write an arbitrary physical address. */
+    Outcome wildPhysicalWrite(Addr paddr);
+
+    /**
+     * Write back a dirty block using a translation that has since been
+     * downgraded (the buggy-TLB-shootdown scenario of §2.1).
+     */
+    Outcome staleWriteback(Addr paddr);
+
+    /** Issue a virtual request under an ASID not bound to the accel. */
+    Outcome forgedAsidRead(Asid asid, Addr vaddr);
+
+  private:
+    Outcome inject(const PacketPtr &pkt, bool via_border);
+
+    System &system_;
+};
+
+} // namespace bctrl
+
+#endif // BCTRL_BC_ATTACK_HH

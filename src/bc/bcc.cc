@@ -1,0 +1,144 @@
+#include "bc/bcc.hh"
+
+#include "bc/protection_table.hh"
+#include "sim/logging.hh"
+
+namespace bctrl {
+
+BorderControlCache::BorderControlCache(const Params &params)
+    : params_(params)
+{
+    panic_if(params_.entries == 0, "BCC with zero entries");
+    panic_if(params_.pagesPerEntry == 0, "BCC with zero pages per entry");
+    entries_.resize(params_.entries);
+    const unsigned bytes_per_entry = (params_.pagesPerEntry * 2 + 7) / 8;
+    for (Entry &e : entries_)
+        e.bits.assign(bytes_per_entry, 0);
+}
+
+BorderControlCache::Entry *
+BorderControlCache::findEntry(Addr group)
+{
+    for (Entry &e : entries_) {
+        if (e.valid && e.groupTag == group)
+            return &e;
+    }
+    return nullptr;
+}
+
+const BorderControlCache::Entry *
+BorderControlCache::findEntry(Addr group) const
+{
+    return const_cast<BorderControlCache *>(this)->findEntry(group);
+}
+
+Perms
+BorderControlCache::getBits(const Entry &e, unsigned index)
+{
+    std::uint8_t byte = e.bits[index / 4];
+    return Perms::fromBits((byte >> ((index % 4) * 2)) & 0x3);
+}
+
+void
+BorderControlCache::setBits(Entry &e, unsigned index, Perms perms)
+{
+    unsigned shift = (index % 4) * 2;
+    std::uint8_t &byte = e.bits[index / 4];
+    byte = static_cast<std::uint8_t>(
+        (byte & ~(0x3u << shift)) | (unsigned(perms.toBits()) << shift));
+}
+
+std::optional<Perms>
+BorderControlCache::lookup(Addr ppn)
+{
+    Entry *e = findEntry(groupOf(ppn));
+    if (!e) {
+        ++misses_;
+        return std::nullopt;
+    }
+    ++hits_;
+    e->lastUse = ++useCounter_;
+    return getBits(*e, static_cast<unsigned>(ppn % params_.pagesPerEntry));
+}
+
+std::optional<Perms>
+BorderControlCache::probe(Addr ppn) const
+{
+    const Entry *e = findEntry(groupOf(ppn));
+    if (!e)
+        return std::nullopt;
+    return getBits(*e, static_cast<unsigned>(ppn % params_.pagesPerEntry));
+}
+
+Perms
+BorderControlCache::fill(Addr ppn, const ProtectionTable &table)
+{
+    const Addr group = groupOf(ppn);
+    Entry *e = findEntry(group);
+    if (!e) {
+        // Choose the LRU (or an invalid) entry as victim. No writeback
+        // is needed: the BCC is write-through.
+        Entry *victim = &entries_.front();
+        for (Entry &cand : entries_) {
+            if (!cand.valid) {
+                victim = &cand;
+                break;
+            }
+            if (cand.lastUse < victim->lastUse)
+                victim = &cand;
+        }
+        victim->valid = true;
+        victim->groupTag = group;
+        e = victim;
+    }
+    // Load the whole group's permissions from the Protection Table.
+    const Addr first_ppn = group * params_.pagesPerEntry;
+    for (unsigned i = 0; i < params_.pagesPerEntry; ++i) {
+        Addr p = first_ppn + i;
+        Perms perms = table.inBounds(p) ? table.getPerms(p)
+                                        : Perms::noAccess();
+        setBits(*e, i, perms);
+    }
+    e->lastUse = ++useCounter_;
+    return getBits(*e, static_cast<unsigned>(ppn % params_.pagesPerEntry));
+}
+
+bool
+BorderControlCache::update(Addr ppn, Perms perms)
+{
+    Entry *e = findEntry(groupOf(ppn));
+    if (!e)
+        return false;
+    setBits(*e, static_cast<unsigned>(ppn % params_.pagesPerEntry), perms);
+    e->lastUse = ++useCounter_;
+    return true;
+}
+
+void
+BorderControlCache::invalidatePage(Addr ppn)
+{
+    if (Entry *e = findEntry(groupOf(ppn)))
+        e->valid = false;
+}
+
+void
+BorderControlCache::invalidateAll()
+{
+    for (Entry &e : entries_)
+        e.valid = false;
+}
+
+bool
+BorderControlCache::resident(Addr ppn) const
+{
+    return findEntry(groupOf(ppn)) != nullptr;
+}
+
+std::uint64_t
+BorderControlCache::sizeBits() const
+{
+    return std::uint64_t(params_.entries) *
+           (params_.tagBits + 2ULL * params_.pagesPerEntry);
+}
+
+} // namespace bctrl

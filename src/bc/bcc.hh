@@ -1,0 +1,124 @@
+/**
+ * @file
+ * The Border Control Cache (BCC): a small cache of the Protection
+ * Table (paper §3.1.2).
+ *
+ * Entries are subblocked like a subblock TLB: one tag covers the
+ * permissions of many consecutive physical pages (512 pages = one
+ * 128 B Protection Table block in the default configuration, giving a
+ * 64-entry/8 KB BCC a 128 MB reach). The structure is fully
+ * associative with LRU replacement, explicitly managed by Border
+ * Control hardware, write-through to the Protection Table, and needs
+ * no hardware coherence.
+ *
+ * The BCC is a passive structure; BorderControl charges its latency
+ * and the fill traffic.
+ */
+
+#ifndef BCTRL_BC_BCC_HH
+#define BCTRL_BC_BCC_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "mem/addr.hh"
+#include "vm/perms.hh"
+
+namespace bctrl {
+
+class ProtectionTable;
+
+class BorderControlCache
+{
+  public:
+    struct Params {
+        unsigned entries = 64;
+        /** Pages covered per entry (subblocking factor). */
+        unsigned pagesPerEntry = 512;
+        /** Tag bits per entry, counted for size reporting only. */
+        unsigned tagBits = 36;
+    };
+
+    explicit BorderControlCache(const Params &params);
+
+    /**
+     * Look up the permissions for @p ppn.
+     * @return the permissions if the covering entry is resident.
+     */
+    std::optional<Perms> lookup(Addr ppn);
+
+    /** Probe without updating LRU (test support). */
+    std::optional<Perms> probe(Addr ppn) const;
+
+    /**
+     * Allocate (or refresh) the entry covering @p ppn, loading the
+     * group's permissions from @p table — the fill performed on a BCC
+     * miss. @return the permissions of @p ppn after the fill.
+     */
+    Perms fill(Addr ppn, const ProtectionTable &table);
+
+    /**
+     * Update @p ppn's permissions in a resident entry; no-op if the
+     * covering entry is absent. The caller writes through to the
+     * Protection Table.
+     * @return true if a resident entry was updated.
+     */
+    bool update(Addr ppn, Perms perms);
+
+    /** Invalidate the entry covering @p ppn, if resident. */
+    void invalidatePage(Addr ppn);
+
+    /** Invalidate everything (downgrade / process completion). */
+    void invalidateAll();
+
+    /** True if the entry covering @p ppn is resident. */
+    bool resident(Addr ppn) const;
+
+    const Params &params() const { return params_; }
+
+    /** Total SRAM bits: entries * (tag + 2 bits per covered page). */
+    std::uint64_t sizeBits() const;
+    std::uint64_t sizeBytes() const { return (sizeBits() + 7) / 8; }
+
+    /** Pages of reach: entries * pagesPerEntry. */
+    std::uint64_t reachPages() const
+    {
+        return std::uint64_t(params_.entries) * params_.pagesPerEntry;
+    }
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+
+    /** Bytes fetched from the Protection Table per fill. */
+    unsigned fillBytes() const
+    {
+        return std::max(1u, params_.pagesPerEntry / 4);
+    }
+
+  private:
+    struct Entry {
+        bool valid = false;
+        Addr groupTag = 0; ///< ppn / pagesPerEntry
+        std::vector<std::uint8_t> bits; ///< 2 bits per covered page
+        std::uint64_t lastUse = 0;
+    };
+
+    Addr groupOf(Addr ppn) const { return ppn / params_.pagesPerEntry; }
+
+    Entry *findEntry(Addr group);
+    const Entry *findEntry(Addr group) const;
+
+    static Perms getBits(const Entry &e, unsigned index);
+    static void setBits(Entry &e, unsigned index, Perms perms);
+
+    Params params_;
+    std::vector<Entry> entries_;
+    std::uint64_t useCounter_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace bctrl
+
+#endif // BCTRL_BC_BCC_HH

@@ -1,0 +1,236 @@
+#include "bc/border_control.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace bctrl {
+
+BorderControl::BorderControl(EventQueue &eq, const std::string &name,
+                             const Params &params, MemDevice &downstream)
+    : SimObject(eq, name),
+      params_(params),
+      downstream_(downstream),
+      bcc_(params.bcc),
+      borderRequests_(statGroup().scalar(
+          "borderRequests", "accelerator requests checked at the border")),
+      readChecks_(statGroup().scalar("readChecks",
+                                     "read-permission checks")),
+      writeChecks_(statGroup().scalar("writeChecks",
+                                      "write-permission checks")),
+      violations_(statGroup().scalar(
+          "violations", "accesses blocked for insufficient permission")),
+      bccHitStat_(statGroup().scalar("bccHits", "BCC hits")),
+      bccMissStat_(statGroup().scalar("bccMisses", "BCC misses")),
+      insertions_(statGroup().scalar(
+          "insertions", "Protection Table insertions from the ATS")),
+      tableTrafficBytes_(statGroup().scalar(
+          "tableTrafficBytes", "memory traffic to the Protection Table"))
+{
+    panic_if(params_.clockPeriod == 0, "Border Control clock is zero");
+}
+
+Tick
+BorderControl::clockEdge(Cycles cycles) const
+{
+    Tick now = curTick();
+    Tick rem = now % params_.clockPeriod;
+    Tick edge = rem == 0 ? now : now + (params_.clockPeriod - rem);
+    return edge + cycles * params_.clockPeriod;
+}
+
+void
+BorderControl::attachTable(ProtectionTable *table)
+{
+    panic_if(table_ != nullptr && table != table_,
+             "attaching a second protection table");
+    table_ = table;
+}
+
+void
+BorderControl::detachTable()
+{
+    panic_if(useCount_ != 0,
+             "detaching protection table while %u processes are active",
+             useCount_);
+    table_ = nullptr;
+    bcc_.invalidateAll();
+}
+
+unsigned
+BorderControl::decrUseCount()
+{
+    panic_if(useCount_ == 0, "use count underflow");
+    return --useCount_;
+}
+
+void
+BorderControl::chargeTableAccess(Addr table_addr, unsigned bytes,
+                                 bool write)
+{
+    tableTrafficBytes_ += bytes;
+    if (!params_.chargeTableTraffic)
+        return;
+    auto pkt = Packet::make(write ? MemCmd::Write : MemCmd::Read,
+                            table_addr, bytes, Requestor::trustedHw);
+    pkt->issuedAt = curTick();
+    downstream_.access(pkt);
+}
+
+Perms
+BorderControl::evaluate(Addr ppn, Tick &check_done)
+{
+    // §3.2.3: the Protection Table is only consulted after the bounds
+    // check; anything outside bounds has no permissions.
+    if (table_ == nullptr) {
+        check_done = clockEdge();
+        return Perms::noAccess();
+    }
+
+    if (params_.useBcc) {
+        if (!table_->inBounds(ppn)) {
+            check_done = clockEdge(params_.bccLatency);
+            return Perms::noAccess();
+        }
+        if (auto hit = bcc_.lookup(ppn)) {
+            ++bccHitStat_;
+            check_done = clockEdge(params_.bccLatency);
+            return *hit;
+        }
+        ++bccMissStat_;
+        Perms perms = bcc_.fill(ppn, *table_);
+        chargeTableAccess(table_->entryAddr(ppn), bcc_.fillBytes(),
+                          false);
+        check_done =
+            clockEdge(params_.bccLatency + params_.tableLatency);
+        return perms;
+    }
+
+    if (!table_->inBounds(ppn)) {
+        check_done = clockEdge();
+        return Perms::noAccess();
+    }
+    chargeTableAccess(table_->entryAddr(ppn), 64, false);
+    check_done = clockEdge(params_.tableLatency);
+    return table_->getPerms(ppn);
+}
+
+void
+BorderControl::deny(const PacketPtr &pkt, Tick when)
+{
+    ++violations_;
+    pkt->denied = true;
+    respondAt(eventQueue(), pkt, when);
+    if (violationHandler_) {
+        PacketPtr held = pkt;
+        eventQueue().scheduleLambda(
+            [this, held]() { violationHandler_(*held); }, when);
+    }
+}
+
+void
+BorderControl::access(const PacketPtr &pkt)
+{
+    if (pkt->requestor == Requestor::trustedHw) {
+        // Trusted traffic (page walks, table refills routed through us)
+        // crosses unchecked.
+        downstream_.access(pkt);
+        return;
+    }
+
+    ++borderRequests_;
+    if (pkt->isRead())
+        ++readChecks_;
+    else
+        ++writeChecks_;
+    if (traceHook_)
+        traceHook_(pkt->pageNum());
+
+    Tick check_done = 0;
+    const Perms have = evaluate(pkt->pageNum(), check_done);
+    const Perms need{pkt->isRead(), pkt->isWrite()};
+
+    if (!have.covers(need)) {
+        deny(pkt, check_done);
+        return;
+    }
+
+    if (pkt->isRead() && !params_.serializeReadChecks) {
+        // The flat table guarantees single-access lookups, so the check
+        // proceeds in parallel with the read; the data response is
+        // gated on the later of the two (paper §3.1.1).
+        if (pkt->onResponse && check_done > curTick()) {
+            auto original = std::move(pkt->onResponse);
+            PacketPtr held = pkt;
+            pkt->onResponse = [this, held, original = std::move(original),
+                               check_done](Packet &) mutable {
+                Tick fire = std::max(curTick(), check_done);
+                eventQueue().scheduleLambda(
+                    [held, cb = std::move(original)]() mutable {
+                        cb(*held);
+                    },
+                    fire);
+            };
+        }
+        downstream_.access(pkt);
+    } else {
+        // Writes (and, in the serialized ablation, reads) must not
+        // reach memory before the check completes.
+        PacketPtr held = pkt;
+        eventQueue().scheduleLambda(
+            [this, held]() { downstream_.access(held); }, check_done);
+    }
+}
+
+void
+BorderControl::onTranslation(Asid asid, Addr vpn, Addr ppn, Perms perms,
+                             bool large_page)
+{
+    (void)asid;
+    (void)vpn;
+    if (table_ == nullptr)
+        return;
+
+    ++insertions_;
+    const unsigned pages = large_page ? pagesPerLargePage : 1;
+    for (unsigned i = 0; i < pages; ++i) {
+        const Addr p = ppn + i;
+        if (!table_->inBounds(p))
+            continue;
+        const Perms merged = table_->mergePerms(p, perms);
+        if (params_.useBcc && !bcc_.update(p, merged))
+            bcc_.fill(p, *table_);
+    }
+    // One read-modify-write of the affected table bytes. A 2 MB large
+    // page touches 512 entries = 128 B, exactly one memory block.
+    const unsigned bytes = std::max(
+        64u, pages / ProtectionTable::pagesPerByte);
+    chargeTableAccess(table_->entryAddr(ppn), bytes, true);
+}
+
+void
+BorderControl::downgradePage(Addr ppn, Perms new_perms)
+{
+    if (table_ == nullptr)
+        return;
+    if (!table_->inBounds(ppn))
+        return;
+    table_->setPerms(ppn, new_perms);
+    if (params_.useBcc)
+        bcc_.update(ppn, new_perms);
+    chargeTableAccess(table_->entryAddr(ppn), 64, true);
+}
+
+void
+BorderControl::zeroTableAndInvalidate()
+{
+    if (table_ == nullptr)
+        return;
+    table_->zeroAll();
+    bcc_.invalidateAll();
+    // Zeroing streams the whole table through memory.
+    chargeTableAccess(table_->base(),
+                      static_cast<unsigned>(table_->sizeBytes()), true);
+}
+
+} // namespace bctrl

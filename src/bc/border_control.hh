@@ -1,0 +1,168 @@
+/**
+ * @file
+ * The Border Control unit (paper §3).
+ *
+ * Border Control sits at the border between the untrusted accelerator's
+ * physical caches and the trusted memory system. Every packet the
+ * accelerator sends toward memory is permission-checked here against
+ * the per-accelerator Protection Table (cached by the Border Control
+ * Cache): reads need read permission for the physical page, writes and
+ * writebacks need write permission. Checks for reads proceed in
+ * parallel with the memory access; the response is gated on the check.
+ * A failed check blocks the access, returns a denied response, and
+ * notifies the OS.
+ */
+
+#ifndef BCTRL_BC_BORDER_CONTROL_HH
+#define BCTRL_BC_BORDER_CONTROL_HH
+
+#include <functional>
+
+#include "bc/bcc.hh"
+#include "bc/protection_table.hh"
+#include "mem/mem_device.hh"
+#include "sim/sim_object.hh"
+
+namespace bctrl {
+
+class BorderControl : public SimObject, public MemDevice
+{
+  public:
+    struct Params {
+        /** Whether the Border Control Cache is present. */
+        bool useBcc = true;
+        BorderControlCache::Params bcc;
+        /** BCC access latency, in Border Control clock cycles. */
+        Cycles bccLatency = 10;
+        /** Protection Table access latency, in cycles. */
+        Cycles tableLatency = 100;
+        /** Clock period in ticks (the accelerator's clock). */
+        Tick clockPeriod = 1'429; // 700 MHz
+        /** Inject the table's memory traffic into the memory system. */
+        bool chargeTableTraffic = true;
+        /**
+         * Ablation of the §3.1.1 design choice: serialize the
+         * permission check before reads instead of overlapping check
+         * and memory access (the paper's design overlaps).
+         */
+        bool serializeReadChecks = false;
+    };
+
+    BorderControl(EventQueue &eq, const std::string &name,
+                  const Params &params, MemDevice &downstream);
+
+    /** @name Datapath (paper Fig. 3c) */
+    /// @{
+    void access(const PacketPtr &pkt) override;
+    /// @}
+
+    /** @name OS- and ATS-facing control (paper Fig. 3a/b/d/e) */
+    /// @{
+
+    /**
+     * Process initialization: the OS points Border Control at a zeroed
+     * Protection Table via the base/bounds registers (modeled by the
+     * table object). Not owned.
+     */
+    void attachTable(ProtectionTable *table);
+
+    /** Tear down the table binding (accelerator idle). */
+    void detachTable();
+
+    /** One more process is now running on the accelerator. */
+    void incrUseCount() { ++useCount_; }
+
+    /**
+     * One process released the accelerator.
+     * @return the remaining use count (0 means the table can be freed).
+     */
+    unsigned decrUseCount();
+
+    unsigned useCount() const { return useCount_; }
+
+    /**
+     * Protection Table insertion on an ATS translation (Fig. 3b).
+     * Permissions are merged (union across co-scheduled processes,
+     * §3.3); a resident BCC entry is updated and written through, a
+     * missing one is allocated and filled from the table.
+     */
+    void onTranslation(Asid asid, Addr vpn, Addr ppn, Perms perms,
+                       bool large_page);
+
+    /**
+     * Selective permission downgrade for one physical page (Fig. 3d
+     * fast path, after the accelerator flushed blocks of that page).
+     */
+    void downgradePage(Addr ppn, Perms new_perms);
+
+    /**
+     * Full downgrade / process-completion path: zero the Protection
+     * Table and invalidate the whole BCC (Fig. 3d/3e).
+     */
+    void zeroTableAndInvalidate();
+
+    /** Register the OS handler invoked on a blocked access. */
+    void setViolationHandler(std::function<void(const Packet &)> handler)
+    {
+        violationHandler_ = std::move(handler);
+    }
+    /// @}
+
+    /**
+     * Observe the PPN of every checked request (used by the Fig. 6
+     * sensitivity harness to capture border traces for offline BCC
+     * geometry sweeps). Null disables.
+     */
+    void setCheckTraceHook(std::function<void(Addr ppn)> hook)
+    {
+        traceHook_ = std::move(hook);
+    }
+
+    ProtectionTable *table() { return table_; }
+    BorderControlCache *bcc() { return params_.useBcc ? &bcc_ : nullptr; }
+    const Params &params() const { return params_; }
+
+    std::uint64_t borderRequests() const
+    {
+        return static_cast<std::uint64_t>(borderRequests_.value());
+    }
+    std::uint64_t violations() const
+    {
+        return static_cast<std::uint64_t>(violations_.value());
+    }
+    std::uint64_t bccHits() const { return bcc_.hits(); }
+    std::uint64_t bccMisses() const { return bcc_.misses(); }
+
+  private:
+    Tick clockEdge(Cycles cycles = 0) const;
+
+    /** Inject trusted traffic for a Protection Table access. */
+    void chargeTableAccess(Addr table_addr, unsigned bytes, bool write);
+
+    /** Evaluate the check: permissions the table grants for @p ppn. */
+    Perms evaluate(Addr ppn, Tick &check_done);
+
+    /** Deny @p pkt: no forwarding, denied response, OS notification. */
+    void deny(const PacketPtr &pkt, Tick when);
+
+    Params params_;
+    MemDevice &downstream_;
+    ProtectionTable *table_ = nullptr;
+    BorderControlCache bcc_;
+    unsigned useCount_ = 0;
+    std::function<void(const Packet &)> violationHandler_;
+    std::function<void(Addr ppn)> traceHook_;
+
+    stats::Scalar &borderRequests_;
+    stats::Scalar &readChecks_;
+    stats::Scalar &writeChecks_;
+    stats::Scalar &violations_;
+    stats::Scalar &bccHitStat_;
+    stats::Scalar &bccMissStat_;
+    stats::Scalar &insertions_;
+    stats::Scalar &tableTrafficBytes_;
+};
+
+} // namespace bctrl
+
+#endif // BCTRL_BC_BORDER_CONTROL_HH

@@ -1,0 +1,63 @@
+#include "bc/protection_table.hh"
+
+#include "sim/logging.hh"
+
+namespace bctrl {
+
+ProtectionTable::ProtectionTable(BackingStore &store, Addr base,
+                                 Addr num_ppns)
+    : store_(store), base_(base), numPpns_(num_ppns)
+{
+    panic_if(num_ppns == 0, "protection table covering zero pages");
+    panic_if(base + sizeBytes() > store.size(),
+             "protection table [0x%llx, +%llu) exceeds physical memory",
+             (unsigned long long)base, (unsigned long long)sizeBytes());
+}
+
+Perms
+ProtectionTable::getPerms(Addr ppn) const
+{
+    panic_if(!inBounds(ppn), "protection table read of PPN 0x%llx out of "
+             "bounds (%llu)",
+             (unsigned long long)ppn, (unsigned long long)numPpns_);
+    std::uint8_t byte = store_.read8(entryAddr(ppn));
+    unsigned shift = (ppn % pagesPerByte) * 2;
+    return Perms::fromBits((byte >> shift) & 0x3);
+}
+
+void
+ProtectionTable::setPerms(Addr ppn, Perms perms)
+{
+    panic_if(!inBounds(ppn), "protection table write of PPN 0x%llx out "
+             "of bounds (%llu)",
+             (unsigned long long)ppn, (unsigned long long)numPpns_);
+    Addr addr = entryAddr(ppn);
+    std::uint8_t byte = store_.read8(addr);
+    unsigned shift = (ppn % pagesPerByte) * 2;
+    byte = static_cast<std::uint8_t>(
+        (byte & ~(0x3u << shift)) | (unsigned(perms.toBits()) << shift));
+    store_.write8(addr, byte);
+}
+
+Perms
+ProtectionTable::mergePerms(Addr ppn, Perms perms)
+{
+    Perms merged = getPerms(ppn) | perms;
+    setPerms(ppn, merged);
+    return merged;
+}
+
+void
+ProtectionTable::zeroAll()
+{
+    store_.zero(base_, sizeBytes());
+}
+
+double
+ProtectionTable::overheadFraction()  const
+{
+    return static_cast<double>(sizeBytes()) /
+           (static_cast<double>(numPpns_) * pageSize);
+}
+
+} // namespace bctrl

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The Protection Table: Border Control's flat permission table in
+ * simulated physical memory (paper §3.1.1).
+ *
+ * One table exists per active accelerator. It is indexed by physical
+ * page number and stores two bits (read, write) per page — the paper's
+ * key insight that permission checking does not require the reverse
+ * physical-to-virtual translation, reducing per-page state from a
+ * 64-bit PTE to 2 bits (0.006% of physical memory).
+ *
+ * The table is a passive structure: Border Control charges the timing
+ * and memory traffic of reading and writing it.
+ */
+
+#ifndef BCTRL_BC_PROTECTION_TABLE_HH
+#define BCTRL_BC_PROTECTION_TABLE_HH
+
+#include "mem/backing_store.hh"
+#include "vm/perms.hh"
+
+namespace bctrl {
+
+class ProtectionTable
+{
+  public:
+    /** Pages whose permissions fit in one byte (2 bits per page). */
+    static constexpr unsigned pagesPerByte = 4;
+
+    /**
+     * @param store the physical memory the table lives in
+     * @param base physical base address (the base register)
+     * @param num_ppns number of physical pages covered (bounds register)
+     */
+    ProtectionTable(BackingStore &store, Addr base, Addr num_ppns);
+
+    /** Bytes of physical memory the table occupies. */
+    Addr sizeBytes() const { return roundUp(numPpns_, pagesPerByte) /
+                                    pagesPerByte; }
+
+    /** The base register value. */
+    Addr base() const { return base_; }
+
+    /** The bounds register value: one past the last valid PPN. */
+    Addr boundPpns() const { return numPpns_; }
+
+    /** @return true if @p ppn is inside the bounds register. */
+    bool inBounds(Addr ppn) const { return ppn < numPpns_; }
+
+    /** Read the permissions recorded for @p ppn. */
+    Perms getPerms(Addr ppn) const;
+
+    /** Overwrite the permissions for @p ppn. */
+    void setPerms(Addr ppn, Perms perms);
+
+    /**
+     * Merge (union) @p perms into the entry for @p ppn — the lazy
+     * insertion performed on ATS translations, which for multiprocess
+     * accelerators accumulates the union across processes (§3.3).
+     * @return the resulting permissions.
+     */
+    Perms mergePerms(Addr ppn, Perms perms);
+
+    /** Reset every entry to no-access (process completion, §3.2.5). */
+    void zeroAll();
+
+    /**
+     * Physical address of the byte holding @p ppn's bits, for charging
+     * memory traffic.
+     */
+    Addr entryAddr(Addr ppn) const { return base_ + ppn / pagesPerByte; }
+
+    /**
+     * Storage overhead as a fraction of the covered physical memory
+     * (the paper's 0.006% figure).
+     */
+    double overheadFraction() const;
+
+  private:
+    BackingStore &store_;
+    Addr base_;
+    Addr numPpns_;
+};
+
+} // namespace bctrl
+
+#endif // BCTRL_BC_PROTECTION_TABLE_HH

@@ -1,0 +1,311 @@
+#include "cache/cache.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace bctrl {
+
+Cache::Cache(EventQueue &eq, const std::string &name, const Params &params,
+             MemDevice &downstream)
+    : SimObject(eq, name),
+      params_(params),
+      downstream_(downstream),
+      tags_(params.size, params.assoc, params.blockSize),
+      mshrs_(params.mshrs),
+      bankBusy_(std::max(1u, params.banks), 0),
+      hits_(statGroup().scalar("hits", "demand hits")),
+      misses_(statGroup().scalar("misses", "demand misses")),
+      mshrCoalesced_(statGroup().scalar("mshrCoalesced",
+                                        "misses coalesced into MSHRs")),
+      writebacks_(statGroup().scalar("writebacks", "writebacks issued")),
+      evictions_(statGroup().scalar("evictions", "blocks evicted")),
+      deferrals_(statGroup().scalar("deferrals",
+                                    "accesses deferred on full MSHRs")),
+      missLatency_(statGroup().distribution("missLatency",
+                                            "demand miss latency (ticks)"))
+{
+    panic_if(params_.clockPeriod == 0, "cache clock period is zero");
+}
+
+Tick
+Cache::clockEdge(Cycles cycles) const
+{
+    Tick now = curTick();
+    Tick rem = now % params_.clockPeriod;
+    Tick edge = rem == 0 ? now : now + (params_.clockPeriod - rem);
+    return edge + cycles * params_.clockPeriod;
+}
+
+Tick
+Cache::bankReady(Addr addr)
+{
+    unsigned bank =
+        static_cast<unsigned>(blockNumber(addr) % bankBusy_.size());
+    Tick start = std::max(clockEdge(), bankBusy_[bank]);
+    bankBusy_[bank] = start + params_.clockPeriod;
+    return start + params_.hitLatency * params_.clockPeriod;
+}
+
+void
+Cache::access(const PacketPtr &pkt)
+{
+    const Tick ready = bankReady(pkt->paddr);
+    CacheBlock *blk = tags_.accessBlock(pkt->paddr);
+
+    if (pkt->isRead()) {
+        if (blk) {
+            ++hits_;
+            respondAt(eventQueue(), pkt, ready);
+        } else {
+            ++misses_;
+            handleMiss(pkt, ready);
+        }
+        return;
+    }
+
+    // Writes and writebacks.
+    if (params_.writeThrough) {
+        // Write-through, no write-allocate: update a present copy and
+        // forward the write downstream regardless.
+        if (blk)
+            ++hits_;
+        else
+            ++misses_;
+        auto through = Packet::make(MemCmd::Write, pkt->paddr, pkt->size,
+                                    params_.side, pkt->asid);
+        through->issuedAt = curTick();
+        eventQueue().scheduleLambda(
+            [this, through]() { downstream_.access(through); }, ready);
+        respondAt(eventQueue(), pkt, ready);
+        return;
+    }
+
+    if (blk && blk->writable) {
+        ++hits_;
+        blk->dirty = true;
+        respondAt(eventQueue(), pkt, ready);
+    } else {
+        // Miss, or present without write rights (upgrade needed).
+        ++misses_;
+        handleMiss(pkt, ready);
+    }
+}
+
+void
+Cache::handleMiss(const PacketPtr &pkt, Tick ready)
+{
+    (void)ready;
+    const Addr block_addr = tags_.blockAlign(pkt->paddr);
+
+    if (Mshr *mshr = mshrs_.find(block_addr)) {
+        ++mshrCoalesced_;
+        mshr->targets.push_back(pkt);
+        // A write joining a read-only fill is resolved in handleFill by
+        // reissuing an exclusive fill.
+        if (pkt->isWrite())
+            mshr->needsWritable = true;
+        return;
+    }
+
+    if (mshrs_.full()) {
+        ++deferrals_;
+        deferred_.push_back(pkt);
+        return;
+    }
+
+    Mshr &mshr = mshrs_.allocate(block_addr);
+    mshr.targets.push_back(pkt);
+    mshr.needsWritable = pkt->isWrite();
+    sendFill(block_addr, mshr.needsWritable);
+}
+
+void
+Cache::sendFill(Addr block_addr, bool needs_writable)
+{
+    auto fill = Packet::make(MemCmd::Read, block_addr, params_.blockSize,
+                             params_.side, 0);
+    fill->needsWritable = needs_writable;
+    fill->issuedAt = curTick();
+    fill->onResponse = [this](Packet &resp) { handleFill(resp); };
+    downstream_.access(fill);
+}
+
+void
+Cache::handleFill(Packet &fill)
+{
+    const Addr block_addr = fill.paddr;
+    Mshr mshr = mshrs_.release(block_addr);
+
+    if (fill.denied) {
+        // The fill was blocked by a safety mechanism: nothing is
+        // installed, and every coalesced target fails.
+        const Tick when = clockEdge(params_.responseLatency);
+        for (const PacketPtr &target : mshr.targets) {
+            target->denied = true;
+            respondAt(eventQueue(), target, when);
+        }
+        retryDeferred();
+        maybeStartFlush();
+        return;
+    }
+
+    CacheBlock *blk = tags_.findBlock(block_addr);
+    if (!blk) {
+        blk = tags_.findVictim(block_addr);
+        if (blk->valid) {
+            ++evictions_;
+            if (blk->dirty)
+                issueWriteback(blk->addr, false);
+        }
+        tags_.insert(blk, block_addr);
+    }
+    if (fill.grantedWritable)
+        blk->writable = true;
+
+    const Tick done = clockEdge(params_.responseLatency);
+    bool reissue_writable = false;
+    std::vector<PacketPtr> still_waiting;
+    for (const PacketPtr &target : mshr.targets) {
+        if (target->isRead()) {
+            missLatency_.sample(
+                static_cast<double>(done - target->issuedAt));
+            respondAt(eventQueue(), target, done);
+        } else if (blk->writable) {
+            blk->dirty = true;
+            missLatency_.sample(
+                static_cast<double>(done - target->issuedAt));
+            respondAt(eventQueue(), target, done);
+        } else {
+            // Write target but the fill came back read-only: an
+            // exclusive re-request is required.
+            reissue_writable = true;
+            still_waiting.push_back(target);
+        }
+    }
+
+    if (reissue_writable) {
+        Mshr &again = mshrs_.allocate(block_addr);
+        again.targets = std::move(still_waiting);
+        again.needsWritable = true;
+        sendFill(block_addr, true);
+        return;
+    }
+
+    retryDeferred();
+    maybeStartFlush();
+}
+
+void
+Cache::issueWriteback(Addr block_addr, bool track)
+{
+    ++writebacks_;
+    auto wb = Packet::make(MemCmd::Writeback, block_addr,
+                           params_.blockSize, params_.side, 0);
+    wb->issuedAt = curTick();
+    if (track) {
+        ++trackedWritebacks_;
+        wb->onResponse = [this](Packet &) {
+            panic_if(trackedWritebacks_ == 0,
+                     "tracked writeback underflow");
+            --trackedWritebacks_;
+            finishFlushIfDone();
+        };
+    }
+    downstream_.access(wb);
+}
+
+void
+Cache::retryDeferred()
+{
+    while (!deferred_.empty() && !mshrs_.full()) {
+        PacketPtr pkt = deferred_.front();
+        deferred_.pop_front();
+        // Re-run the full access path: the block may have been filled
+        // by the miss that just completed.
+        access(pkt);
+    }
+}
+
+bool
+Cache::busy() const
+{
+    return mshrs_.inService() != 0 || !deferred_.empty() ||
+           trackedWritebacks_ != 0;
+}
+
+void
+Cache::flushAll(std::function<void()> done)
+{
+    panic_if(flushPending_ || flushDone_,
+             "flush requested while another flush is in progress");
+    flushDone_ = std::move(done);
+    flushPagePpn_ = ~Addr(0);
+    flushPending_ = true;
+    maybeStartFlush();
+}
+
+void
+Cache::flushPage(Addr ppn, std::function<void()> done)
+{
+    panic_if(flushPending_ || flushDone_,
+             "flush requested while another flush is in progress");
+    flushDone_ = std::move(done);
+    flushPagePpn_ = ppn;
+    flushPending_ = true;
+    maybeStartFlush();
+}
+
+void
+Cache::maybeStartFlush()
+{
+    if (!flushPending_)
+        return;
+    if (mshrs_.inService() != 0 || !deferred_.empty())
+        return; // wait for outstanding misses to drain
+
+    flushPending_ = false;
+    const bool whole_cache = flushPagePpn_ == ~Addr(0);
+    std::vector<Addr> dirty;
+    tags_.forEachBlock([&](CacheBlock &blk) {
+        if (!whole_cache && pageNumber(blk.addr) != flushPagePpn_)
+            return;
+        if (blk.dirty)
+            dirty.push_back(blk.addr);
+        tags_.invalidate(&blk);
+    });
+    for (Addr addr : dirty)
+        issueWriteback(addr, true);
+    finishFlushIfDone();
+}
+
+void
+Cache::finishFlushIfDone()
+{
+    if (flushPending_ || trackedWritebacks_ != 0 || !flushDone_)
+        return;
+    auto done = std::move(flushDone_);
+    flushDone_ = nullptr;
+    // Defer to the event queue so callers never see reentrant callbacks.
+    eventQueue().scheduleLambda(std::move(done), curTick());
+}
+
+void
+Cache::invalidateAll()
+{
+    tags_.forEachBlock([&](CacheBlock &blk) { tags_.invalidate(&blk); });
+}
+
+bool
+Cache::recallBlock(Addr addr)
+{
+    CacheBlock *blk = tags_.findBlock(addr);
+    if (!blk)
+        return false;
+    if (blk->dirty)
+        issueWriteback(blk->addr, false);
+    tags_.invalidate(blk);
+    return true;
+}
+
+} // namespace bctrl

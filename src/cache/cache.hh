@@ -1,0 +1,138 @@
+/**
+ * @file
+ * A non-blocking, set-associative cache with MSHRs.
+ *
+ * Two write policies cover every cache in the evaluated system:
+ *  - write-back with write-allocate (CPU caches, accelerator L2,
+ *    trusted CAPI-like L2), where dirty blocks produce Writeback
+ *    packets on eviction or flush — the traffic Border Control checks
+ *    for write permission;
+ *  - write-through with no write-allocate (accelerator L1s, matching
+ *    the paper's simple intra-GPU write-through protocol).
+ *
+ * The cache is timing-only: data contents live in the functional
+ * BackingStore, which requests update at issue time.
+ */
+
+#ifndef BCTRL_CACHE_CACHE_HH
+#define BCTRL_CACHE_CACHE_HH
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "cache/mshr.hh"
+#include "cache/tags.hh"
+#include "mem/mem_device.hh"
+#include "sim/sim_object.hh"
+
+namespace bctrl {
+
+class Cache : public SimObject, public MemDevice
+{
+  public:
+    struct Params {
+        Addr size = 64 * 1024;
+        unsigned assoc = 8;
+        unsigned blockSize = bctrl::blockSize;
+        /** Lookup-to-data latency in this cache's cycles. */
+        Cycles hitLatency = 4;
+        /** Additional latency applied to fill responses. */
+        Cycles responseLatency = 2;
+        unsigned mshrs = 16;
+        /** Independent banks, each accepting one access per cycle. */
+        unsigned banks = 4;
+        bool writeThrough = false;
+        /** Clock period in ticks. */
+        Tick clockPeriod = 1'429; // 700 MHz
+        /** Identity stamped on self-generated traffic (fills, WBs). */
+        Requestor side = Requestor::cpu;
+    };
+
+    Cache(EventQueue &eq, const std::string &name, const Params &params,
+          MemDevice &downstream);
+
+    void access(const PacketPtr &pkt) override;
+
+    /**
+     * Write back every dirty block, invalidate the whole cache, and run
+     * @p done once all writebacks have been accepted by memory. Waits
+     * for outstanding misses to drain first.
+     */
+    void flushAll(std::function<void()> done);
+
+    /**
+     * Write back and invalidate only blocks of physical page @p ppn
+     * (the selective-flush optimization of §3.2.4).
+     */
+    void flushPage(Addr ppn, std::function<void()> done);
+
+    /** Drop all blocks without writing anything back (test support). */
+    void invalidateAll();
+
+    /**
+     * Invalidate one block (coherence recall). If dirty, a writeback is
+     * sent downstream.
+     * @return true if the block was present.
+     */
+    bool recallBlock(Addr addr);
+
+    /** True while misses or flush writebacks are outstanding. */
+    bool busy() const;
+
+    const Params &params() const { return params_; }
+    TagStore &tags() { return tags_; }
+
+    std::uint64_t demandHits() const
+    {
+        return static_cast<std::uint64_t>(hits_.value());
+    }
+    std::uint64_t demandMisses() const
+    {
+        return static_cast<std::uint64_t>(misses_.value());
+    }
+    std::uint64_t writebacksIssued() const
+    {
+        return static_cast<std::uint64_t>(writebacks_.value());
+    }
+
+  private:
+    /** Charge bank occupancy; @return tick the access completes. */
+    Tick bankReady(Addr addr);
+
+    Tick clockEdge(Cycles cycles = 0) const;
+
+    void handleMiss(const PacketPtr &pkt, Tick ready);
+    void sendFill(Addr block_addr, bool needs_writable);
+    void handleFill(Packet &fill);
+    void issueWriteback(Addr block_addr, bool track);
+    void retryDeferred();
+    void maybeStartFlush();
+    void finishFlushIfDone();
+
+    Params params_;
+    MemDevice &downstream_;
+    TagStore tags_;
+    MshrQueue mshrs_;
+    std::vector<Tick> bankBusy_;
+    std::deque<PacketPtr> deferred_;
+
+    /** Writebacks whose acks the current flush is waiting on. */
+    unsigned trackedWritebacks_ = 0;
+    std::function<void()> flushDone_;
+    /** Pages restricted by an in-progress selective flush (~0 = all). */
+    Addr flushPagePpn_ = ~Addr(0);
+    bool flushPending_ = false;
+
+    stats::Scalar &hits_;
+    stats::Scalar &misses_;
+    stats::Scalar &mshrCoalesced_;
+    stats::Scalar &writebacks_;
+    stats::Scalar &evictions_;
+    stats::Scalar &deferrals_;
+    stats::Distribution &missLatency_;
+};
+
+} // namespace bctrl
+
+#endif // BCTRL_CACHE_CACHE_HH

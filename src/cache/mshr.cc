@@ -1,0 +1,36 @@
+#include "cache/mshr.hh"
+
+#include "sim/logging.hh"
+
+namespace bctrl {
+
+Mshr *
+MshrQueue::find(Addr block_addr)
+{
+    auto it = entries_.find(block_addr);
+    return it == entries_.end() ? nullptr : &it->second;
+}
+
+Mshr &
+MshrQueue::allocate(Addr block_addr)
+{
+    panic_if(full(), "allocating MSHR beyond capacity %u", capacity_);
+    auto [it, inserted] = entries_.emplace(block_addr, Mshr{});
+    panic_if(!inserted, "MSHR for block 0x%llx already exists",
+             (unsigned long long)block_addr);
+    it->second.blockAddr = block_addr;
+    return it->second;
+}
+
+Mshr
+MshrQueue::release(Addr block_addr)
+{
+    auto it = entries_.find(block_addr);
+    panic_if(it == entries_.end(), "releasing absent MSHR 0x%llx",
+             (unsigned long long)block_addr);
+    Mshr m = std::move(it->second);
+    entries_.erase(it);
+    return m;
+}
+
+} // namespace bctrl

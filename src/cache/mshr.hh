@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Miss Status Handling Registers: bookkeeping for outstanding cache
+ * misses, with coalescing of multiple requests to the same block.
+ */
+
+#ifndef BCTRL_CACHE_MSHR_HH
+#define BCTRL_CACHE_MSHR_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "mem/packet.hh"
+
+namespace bctrl {
+
+struct Mshr {
+    Addr blockAddr = 0;
+    /** True once any coalesced target is a write. */
+    bool needsWritable = false;
+    /** Requests waiting on this fill. */
+    std::vector<PacketPtr> targets;
+};
+
+class MshrQueue
+{
+  public:
+    explicit MshrQueue(unsigned capacity) : capacity_(capacity) {}
+
+    /** @return the MSHR tracking @p block_addr, or nullptr. */
+    Mshr *find(Addr block_addr);
+
+    /** @return true if no MSHR is free. */
+    bool full() const { return entries_.size() >= capacity_; }
+
+    /**
+     * Allocate an MSHR for @p block_addr (must not exist; must not be
+     * full).
+     */
+    Mshr &allocate(Addr block_addr);
+
+    /** Remove and return the MSHR for @p block_addr. */
+    Mshr release(Addr block_addr);
+
+    std::size_t inService() const { return entries_.size(); }
+    unsigned capacity() const { return capacity_; }
+
+  private:
+    unsigned capacity_;
+    std::unordered_map<Addr, Mshr> entries_;
+};
+
+} // namespace bctrl
+
+#endif // BCTRL_CACHE_MSHR_HH

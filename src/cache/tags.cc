@@ -1,0 +1,112 @@
+#include "cache/tags.hh"
+
+#include "sim/logging.hh"
+
+namespace bctrl {
+
+namespace {
+
+bool
+isPowerOfTwo(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace
+
+TagStore::TagStore(Addr size, unsigned assoc, unsigned block_size)
+    : capacity_(size), assoc_(assoc), blockSize_(block_size)
+{
+    panic_if(!isPowerOfTwo(block_size), "block size must be a power of 2");
+    panic_if(size % (Addr(assoc) * block_size) != 0,
+             "cache size %llu not divisible by assoc*blockSize",
+             (unsigned long long)size);
+    numSets_ = static_cast<unsigned>(size / (Addr(assoc) * block_size));
+    panic_if(numSets_ == 0, "cache with zero sets");
+    blocks_.resize(static_cast<std::size_t>(numSets_) * assoc_);
+}
+
+unsigned
+TagStore::setIndex(Addr addr) const
+{
+    // Hash the block number across the index bits (GPUs hash their
+    // cache indices for exactly this reason): without it, the many
+    // wavefronts streaming page-strided work units in lockstep all
+    // land in the same set and thrash it.
+    Addr line = addr / blockSize_;
+    Addr hashed = line ^ (line / numSets_) ^
+                  (line / numSets_ / numSets_);
+    return static_cast<unsigned>(hashed % numSets_);
+}
+
+CacheBlock *
+TagStore::accessBlock(Addr addr)
+{
+    CacheBlock *blk = findBlock(addr);
+    if (blk)
+        blk->lastUse = ++useCounter_;
+    return blk;
+}
+
+CacheBlock *
+TagStore::findBlock(Addr addr)
+{
+    Addr aligned = blockAlign(addr);
+    unsigned set = setIndex(addr);
+    for (unsigned way = 0; way < assoc_; ++way) {
+        CacheBlock &blk = blocks_[std::size_t(set) * assoc_ + way];
+        if (blk.valid && blk.addr == aligned)
+            return &blk;
+    }
+    return nullptr;
+}
+
+const CacheBlock *
+TagStore::findBlock(Addr addr) const
+{
+    return const_cast<TagStore *>(this)->findBlock(addr);
+}
+
+CacheBlock *
+TagStore::findVictim(Addr addr)
+{
+    unsigned set = setIndex(addr);
+    CacheBlock *victim = nullptr;
+    for (unsigned way = 0; way < assoc_; ++way) {
+        CacheBlock &blk = blocks_[std::size_t(set) * assoc_ + way];
+        if (!blk.valid)
+            return &blk;
+        if (!victim || blk.lastUse < victim->lastUse)
+            victim = &blk;
+    }
+    return victim;
+}
+
+void
+TagStore::insert(CacheBlock *blk, Addr addr)
+{
+    blk->valid = true;
+    blk->addr = blockAlign(addr);
+    blk->dirty = false;
+    blk->writable = false;
+    blk->lastUse = ++useCounter_;
+}
+
+void
+TagStore::invalidate(CacheBlock *blk)
+{
+    blk->valid = false;
+    blk->dirty = false;
+    blk->writable = false;
+}
+
+void
+TagStore::forEachBlock(const std::function<void(CacheBlock &)> &fn)
+{
+    for (CacheBlock &blk : blocks_) {
+        if (blk.valid)
+            fn(blk);
+    }
+}
+
+} // namespace bctrl

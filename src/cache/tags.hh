@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Set-associative tag store with LRU replacement, shared by every cache
+ * in the system (CPU L1/L2, accelerator L1/L2, trusted CAPI-like L2).
+ */
+
+#ifndef BCTRL_CACHE_TAGS_HH
+#define BCTRL_CACHE_TAGS_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "mem/addr.hh"
+#include "sim/types.hh"
+
+namespace bctrl {
+
+struct CacheBlock {
+    bool valid = false;
+    /** Block-aligned physical address (full address, not just tag bits). */
+    Addr addr = 0;
+    bool dirty = false;
+    /** Whether the coherence point granted write (ownership) rights. */
+    bool writable = false;
+    std::uint64_t lastUse = 0;
+};
+
+class TagStore
+{
+  public:
+    /**
+     * @param size total capacity in bytes
+     * @param assoc ways per set
+     * @param block_size block size in bytes (power of two)
+     */
+    TagStore(Addr size, unsigned assoc, unsigned block_size);
+
+    /** @return the block holding @p addr, or nullptr. Updates LRU. */
+    CacheBlock *accessBlock(Addr addr);
+
+    /** @return the block holding @p addr, or nullptr. No LRU update. */
+    CacheBlock *findBlock(Addr addr);
+    const CacheBlock *findBlock(Addr addr) const;
+
+    /**
+     * Choose a victim slot in @p addr's set: an invalid slot if one
+     * exists, otherwise the LRU block. Never returns nullptr.
+     */
+    CacheBlock *findVictim(Addr addr);
+
+    /** Install @p addr into @p blk (caller handled any previous dirty). */
+    void insert(CacheBlock *blk, Addr addr);
+
+    /** Invalidate a single block. */
+    void invalidate(CacheBlock *blk);
+
+    /** Apply @p fn to every valid block. */
+    void forEachBlock(const std::function<void(CacheBlock &)> &fn);
+
+    unsigned numSets() const { return numSets_; }
+    unsigned assoc() const { return assoc_; }
+    unsigned blockSize() const { return blockSize_; }
+    Addr capacity() const { return capacity_; }
+
+    Addr blockAlign(Addr a) const { return a & ~Addr(blockSize_ - 1); }
+
+  private:
+    unsigned setIndex(Addr addr) const;
+
+    Addr capacity_;
+    unsigned assoc_;
+    unsigned blockSize_;
+    unsigned numSets_;
+    std::vector<CacheBlock> blocks_;
+    std::uint64_t useCounter_ = 0;
+};
+
+} // namespace bctrl
+
+#endif // BCTRL_CACHE_TAGS_HH

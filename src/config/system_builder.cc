@@ -1,0 +1,328 @@
+#include "config/system_builder.hh"
+
+#include "sim/logging.hh"
+
+namespace bctrl {
+
+System::System(const SystemConfig &config)
+    : config_(config)
+{
+    const Tick gpu_period = config_.gpuPeriod();
+
+    store_ = std::make_unique<BackingStore>(config_.physMemBytes);
+
+    Dram::Params dram_params;
+    dram_params.accessLatency = config_.dramAccessLatency;
+    dram_params.bytesPerSecond = config_.memBandwidthBytesPerSec;
+    dram_ = std::make_unique<Dram>(eventQueue_, "system.mem", *store_,
+                                   dram_params);
+
+    coherence_ = std::make_unique<CoherencePoint>(
+        eventQueue_, "system.coherence", *dram_,
+        CoherencePoint::Params{});
+
+    bus_ = std::make_unique<MemBus>(eventQueue_, "system.bus",
+                                    *coherence_, MemBus::Params{});
+
+    Kernel::Params kernel_params;
+    kernel_params.shootdownLatency = config_.shootdownLatency;
+    kernel_params.pageFaultLatency = config_.pageFaultLatency;
+    kernel_params.selectiveFlush = config_.selectiveFlush;
+    kernel_ = std::make_unique<Kernel>(eventQueue_, "system.kernel",
+                                       *store_, kernel_params);
+
+    // The host CPU (Table 3): one core with a write-through 64 KB L1
+    // over a 2 MB write-back L2, on the trusted side of the coherence
+    // point.
+    {
+        const Tick cpu_period = config_.cpuPeriod();
+        Cache::Params cl2;
+        cl2.size = config_.cpuL2Size;
+        cl2.assoc = 16;
+        cl2.hitLatency = 12;
+        cl2.mshrs = 16;
+        cl2.banks = 4;
+        cl2.clockPeriod = cpu_period;
+        cl2.side = Requestor::cpu;
+        cpuL2_ = std::make_unique<Cache>(eventQueue_, "system.cpu.l2",
+                                         cl2, *bus_);
+        Cache::Params cl1;
+        cl1.size = config_.cpuL1Size;
+        cl1.assoc = 8;
+        cl1.hitLatency = 2;
+        cl1.mshrs = 8;
+        cl1.banks = 2;
+        cl1.writeThrough = true;
+        cl1.clockPeriod = cpu_period;
+        cl1.side = Requestor::cpu;
+        cpuL1_ = std::make_unique<Cache>(eventQueue_, "system.cpu.l1d",
+                                         cl1, *cpuL2_);
+        CpuCore::Params cp;
+        cp.clockPeriod = cpu_period;
+        cpuCore_ = std::make_unique<CpuCore>(
+            eventQueue_, "system.cpu.core0", cp, *kernel_, *cpuL1_);
+        coherence_->addCpuCache(cpuL1_.get());
+        coherence_->addCpuCache(cpuL2_.get());
+    }
+
+    Ats::Params ats_params;
+    ats_params.l2Tlb = Tlb::Params{config_.l2TlbEntries, 8};
+    ats_params.l2TlbLatency = config_.l2TlbLatencyCycles;
+    ats_params.clockPeriod = gpu_period;
+    ats_ = std::make_unique<Ats>(eventQueue_, "system.ats", ats_params,
+                                 *bus_);
+    ats_->setKernel(kernel_.get());
+
+    // Cache parameter templates shared by the GPU-side structures.
+    Cache::Params l1p;
+    l1p.size = config_.gpuL1Size;
+    l1p.assoc = 4;
+    l1p.hitLatency = config_.gpuL1HitCycles;
+    l1p.mshrs = 16;
+    l1p.banks = 2;
+    l1p.clockPeriod = gpu_period;
+
+    Cache::Params l2p;
+    l2p.size = config_.gpuL2Size();
+    l2p.assoc = 8;
+    l2p.hitLatency = config_.gpuL2HitCycles;
+    l2p.mshrs = 64;
+    l2p.banks = 8;
+    l2p.clockPeriod = gpu_period;
+
+    Gpu::Params gpu_params;
+    gpu_params.numCus = config_.numCus();
+    gpu_params.wavefrontsPerCu = config_.wfsPerCu();
+    gpu_params.clockPeriod = gpu_period;
+    gpu_params.l1Cache = l1p;
+    gpu_params.l2Cache = l2p;
+    gpu_params.l1Tlb = Tlb::Params{config_.l1TlbEntries, 0};
+
+    MemDevice *gpu_mem_path = bus_.get();
+
+    switch (config_.safety) {
+      case SafetyModel::atsOnlyIommu:
+        // Unsafe baseline: the accelerator's physical requests go
+        // straight to the memory system.
+        gpu_params.kind = Gpu::DatapathKind::physCached;
+        break;
+
+      case SafetyModel::fullIommu: {
+        // No accelerator caches or TLBs; the IOMMU translates and
+        // checks every request on its way to memory.
+        gpu_params.kind = Gpu::DatapathKind::iommu;
+        gpu_params.hasL2Cache = false;
+        IommuFrontend::Params fe;
+        fe.clockPeriod = gpu_period;
+        fe.requestsPerCycle = 2;
+        fe.ownTlb = false; // all translations hit the shared ATS port
+        iommuFrontend_ = std::make_unique<IommuFrontend>(
+            eventQueue_, "system.iommu", fe, *ats_, *bus_);
+        gpu_mem_path = iommuFrontend_.get();
+        break;
+      }
+
+      case SafetyModel::capiLike: {
+        // Trusted host-side L2 behind the translation front end,
+        // reached with extra latency (§5.1).
+        gpu_params.kind = Gpu::DatapathKind::iommu;
+        gpu_params.hasL2Cache = false;
+        Cache::Params capi = l2p;
+        capi.side = Requestor::cpu; // trusted hardware
+        capiL2_ = std::make_unique<Cache>(eventQueue_, "system.capiL2",
+                                          capi, *bus_);
+        IommuFrontend::Params fe;
+        fe.frontLatency = config_.capiFrontCycles * gpu_period;
+        fe.clockPeriod = gpu_period;
+        // The CAPI-like unit is dedicated trusted hardware: it has its
+        // own (wide-ported) TLB and only walks via the ATS on misses.
+        fe.requestsPerCycle = 8;
+        fe.ownTlb = true;
+        gpu_params.splitIommuRequests = false;
+        fe.tlb = Tlb::Params{config_.l2TlbEntries, 8};
+        iommuFrontend_ = std::make_unique<IommuFrontend>(
+            eventQueue_, "system.capi", fe, *ats_, *capiL2_);
+        gpu_mem_path = iommuFrontend_.get();
+        break;
+      }
+
+      case SafetyModel::borderControlNoBcc:
+      case SafetyModel::borderControlBcc: {
+        gpu_params.kind = Gpu::DatapathKind::physCached;
+        BorderControl::Params bcp;
+        bcp.useBcc = config_.safety == SafetyModel::borderControlBcc;
+        bcp.bcc.entries = config_.bccEntries;
+        bcp.bcc.pagesPerEntry = config_.bccPagesPerEntry;
+        bcp.bccLatency = config_.bccLatencyCycles;
+        bcp.tableLatency = config_.tableLatencyCycles;
+        bcp.clockPeriod = gpu_period;
+        bcp.serializeReadChecks = config_.bcSerializeReadChecks;
+        borderControl_ = std::make_unique<BorderControl>(
+            eventQueue_, "system.bc", bcp, *bus_);
+        gpu_mem_path = borderControl_.get();
+        ats_->setBorderControl(borderControl_.get());
+        break;
+      }
+    }
+
+    gpu_ = std::make_unique<Gpu>(eventQueue_, "system.gpu", gpu_params,
+                                 *ats_, *gpu_mem_path);
+
+    if (gpu_->l2Cache() != nullptr)
+        coherence_->setAccelCache(gpu_->l2Cache());
+    if (capiL2_)
+        coherence_->addCpuCache(capiL2_.get());
+
+    kernel_->attachAccelerator(gpu_.get(), borderControl_.get(),
+                               ats_.get());
+    if (iommuFrontend_)
+        kernel_->attachIommuFrontend(iommuFrontend_.get());
+    if (borderControl_) {
+        borderControl_->setViolationHandler(
+            [this](const Packet &pkt) { kernel_->onViolation(pkt); });
+    }
+    if (iommuFrontend_) {
+        iommuFrontend_->setViolationHandler(
+            [this](const Packet &pkt) { kernel_->onViolation(pkt); });
+    }
+}
+
+System::~System() = default;
+
+MemDevice &
+System::borderDevice()
+{
+    if (borderControl_)
+        return *borderControl_;
+    if (iommuFrontend_)
+        return *iommuFrontend_;
+    return *bus_;
+}
+
+void
+System::startDowngradeInjector(Process &proc, const bool *finished)
+{
+    const double rate = config_.downgradesPerSecond;
+    if (rate <= 0)
+        return;
+    const Tick period =
+        static_cast<Tick>(static_cast<double>(ticksPerSecond) / rate);
+
+    // Self-rescheduling injector; stops once the kernel completes.
+    auto injector = std::make_shared<std::function<void()>>();
+    auto in_flight = std::make_shared<bool>(false);
+    Process *procp = &proc;
+    *injector = [this, procp, finished, period, injector, in_flight]() {
+        if (*finished)
+            return;
+        if (!*in_flight) {
+            *in_flight = true;
+            kernel_->injectDowngrade(
+                *procp, [in_flight]() { *in_flight = false; });
+        }
+        eventQueue_.scheduleLambda([injector]() { (*injector)(); },
+                                   eventQueue_.curTick() + period);
+    };
+    eventQueue_.scheduleLambda([injector]() { (*injector)(); },
+                               eventQueue_.curTick() + period);
+}
+
+RunResult
+System::run(const std::string &workload_name)
+{
+    auto workload =
+        makeWorkload(workload_name, config_.workloadScale, config_.seed);
+    fatal_if(workload == nullptr, "unknown workload '%s'",
+             workload_name.c_str());
+    Process &proc = kernel_->createProcess();
+    workload->setup(proc);
+    return run(*workload, proc);
+}
+
+RunResult
+System::run(Workload &workload, Process &proc)
+{
+    workload.bind(config_.numCus(), config_.wfsPerCu());
+    kernel_->scheduleOnAccelerator(proc);
+
+    const std::uint64_t mem_ops_before = gpu_->memOpsIssued();
+
+    bool finished = false;
+    gpu_->launch(workload, proc, [&finished]() { finished = true; });
+    startDowngradeInjector(proc, &finished);
+
+    eventQueue_.run();
+    panic_if(!finished, "event queue drained before kernel completion");
+
+    const Tick runtime = gpu_->endTick() - gpu_->startTick();
+    const std::uint64_t mem_ops = gpu_->memOpsIssued() - mem_ops_before;
+
+    bool released = false;
+    kernel_->releaseAccelerator(proc, [&released]() { released = true; });
+    eventQueue_.run();
+    panic_if(!released, "accelerator release did not complete");
+
+    return collect(workload.name(), runtime, mem_ops);
+}
+
+RunResult
+System::collect(const std::string &workload_name, Tick runtime,
+                std::uint64_t mem_ops) const
+{
+    RunResult r;
+    r.workload = workload_name;
+    r.safety = config_.safety;
+    r.profile = config_.profile;
+    r.runtimeTicks = runtime;
+    r.gpuCycles = static_cast<double>(runtime) /
+                  static_cast<double>(config_.gpuPeriod());
+    r.memOps = mem_ops;
+
+    if (borderControl_) {
+        r.borderRequests = borderControl_->borderRequests();
+        r.borderRequestsPerCycle =
+            r.gpuCycles > 0 ? r.borderRequests / r.gpuCycles : 0;
+        r.bccHits = borderControl_->bccHits();
+        r.bccMisses = borderControl_->bccMisses();
+        const std::uint64_t lookups = r.bccHits + r.bccMisses;
+        r.bccMissRatio =
+            lookups > 0 ? static_cast<double>(r.bccMisses) / lookups : 0;
+        r.violations = borderControl_->violations();
+    }
+    if (iommuFrontend_)
+        r.violations += iommuFrontend_->denials();
+
+    r.downgrades = kernel_->downgradesPerformed();
+    r.translations = ats_->translations();
+    r.pageWalks = ats_->walks();
+    r.dramBytes = dram_->bytesTransferred();
+    r.dramUtilization = dram_->utilization();
+
+    if (gpu_->l2Cache() != nullptr) {
+        r.l2Hits = gpu_->l2Cache()->demandHits();
+        r.l2Misses = gpu_->l2Cache()->demandMisses();
+    }
+    return r;
+}
+
+void
+System::dumpStats(std::ostream &os) const
+{
+    dram_->statGroup().print(os);
+    cpuCore_->statGroup().print(os);
+    cpuL1_->statGroup().print(os);
+    cpuL2_->statGroup().print(os);
+    coherence_->statGroup().print(os);
+    bus_->statGroup().print(os);
+    kernel_->statGroup().print(os);
+    ats_->statGroup().print(os);
+    if (borderControl_)
+        borderControl_->statGroup().print(os);
+    if (capiL2_)
+        capiL2_->statGroup().print(os);
+    if (iommuFrontend_)
+        iommuFrontend_->statGroup().print(os);
+    gpu_->statGroup().print(os);
+}
+
+} // namespace bctrl

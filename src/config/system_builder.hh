@@ -1,0 +1,103 @@
+/**
+ * @file
+ * System: constructs and wires a complete simulated machine for one
+ * SystemConfig — memory, coherence point, kernel, ATS, the safety
+ * mechanism under study, and the GPU — and runs workloads on it.
+ *
+ * This is the main entry point of the library's public API: examples
+ * and benchmark harnesses build a System, call run(), and read the
+ * returned RunResult.
+ */
+
+#ifndef BCTRL_CONFIG_SYSTEM_BUILDER_HH
+#define BCTRL_CONFIG_SYSTEM_BUILDER_HH
+
+#include <memory>
+#include <ostream>
+
+#include "bc/border_control.hh"
+#include "cache/coherence_point.hh"
+#include "cpu/cpu_core.hh"
+#include "config/system_config.hh"
+#include "gpu/gpu.hh"
+#include "mem/dram.hh"
+#include "mem/mem_bus.hh"
+#include "os/kernel.hh"
+#include "vm/iommu_frontend.hh"
+
+namespace bctrl {
+
+class System
+{
+  public:
+    explicit System(const SystemConfig &config);
+    ~System();
+
+    System(const System &) = delete;
+    System &operator=(const System &) = delete;
+
+    /**
+     * Run the named workload to completion on the accelerator and
+     * return its measurements. Each call creates a fresh process.
+     */
+    RunResult run(const std::string &workload_name);
+
+    /**
+     * Run an already-constructed workload for @p proc (which must not
+     * yet be scheduled on the accelerator). setup() must have been
+     * called; bind() is performed here.
+     */
+    RunResult run(Workload &workload, Process &proc);
+
+    /** @name Component access (examples, tests, attack injection) */
+    /// @{
+    const SystemConfig &config() const { return config_; }
+    EventQueue &eventQueue() { return eventQueue_; }
+    BackingStore &memory() { return *store_; }
+    Dram &dram() { return *dram_; }
+    CoherencePoint &coherencePoint() { return *coherence_; }
+    MemBus &bus() { return *bus_; }
+    Kernel &kernel() { return *kernel_; }
+    Ats &ats() { return *ats_; }
+    Gpu &gpu() { return *gpu_; }
+    CpuCore &cpu() { return *cpuCore_; }
+    Cache &cpuL1() { return *cpuL1_; }
+    Cache &cpuL2() { return *cpuL2_; }
+    /** Null unless a Border Control configuration. */
+    BorderControl *borderControl() { return borderControl_.get(); }
+    /** Null unless full-IOMMU or CAPI-like. */
+    IommuFrontend *iommuFrontend() { return iommuFrontend_.get(); }
+    /** Null unless CAPI-like. */
+    Cache *capiL2() { return capiL2_.get(); }
+    /** The device accelerator traffic enters when it leaves the GPU. */
+    MemDevice &borderDevice();
+    /// @}
+
+    /** Print every component's statistics. */
+    void dumpStats(std::ostream &os) const;
+
+  private:
+    RunResult collect(const std::string &workload_name, Tick runtime,
+                      std::uint64_t mem_ops) const;
+    void startDowngradeInjector(Process &proc, const bool *finished);
+
+    SystemConfig config_;
+    EventQueue eventQueue_;
+    std::unique_ptr<BackingStore> store_;
+    std::unique_ptr<Dram> dram_;
+    std::unique_ptr<CoherencePoint> coherence_;
+    std::unique_ptr<MemBus> bus_;
+    std::unique_ptr<Kernel> kernel_;
+    std::unique_ptr<Cache> cpuL2_;
+    std::unique_ptr<Cache> cpuL1_;
+    std::unique_ptr<CpuCore> cpuCore_;
+    std::unique_ptr<Ats> ats_;
+    std::unique_ptr<BorderControl> borderControl_;
+    std::unique_ptr<Cache> capiL2_;
+    std::unique_ptr<IommuFrontend> iommuFrontend_;
+    std::unique_ptr<Gpu> gpu_;
+};
+
+} // namespace bctrl
+
+#endif // BCTRL_CONFIG_SYSTEM_BUILDER_HH

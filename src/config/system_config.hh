@@ -1,0 +1,171 @@
+/**
+ * @file
+ * System configuration: the paper's Table 3 parameters, the five
+ * safety models of Table 2, and the two GPU threading profiles.
+ */
+
+#ifndef BCTRL_CONFIG_SYSTEM_CONFIG_HH
+#define BCTRL_CONFIG_SYSTEM_CONFIG_HH
+
+#include <string>
+
+#include "mem/addr.hh"
+#include "sim/types.hh"
+
+namespace bctrl {
+
+/** The five approaches to memory safety evaluated in §5 (Table 2). */
+enum class SafetyModel {
+    atsOnlyIommu,       ///< unsafe baseline: ATS translation only
+    fullIommu,          ///< every request translated+checked; no accel caches
+    capiLike,           ///< trusted host-side L2 + TLB, no accel caches
+    borderControlNoBcc, ///< Protection Table only
+    borderControlBcc,   ///< Protection Table + Border Control Cache
+};
+
+/** The two accelerator profiles of §5.1. */
+enum class GpuProfile {
+    highlyThreaded,     ///< 8 CUs, many contexts (latency tolerant)
+    moderatelyThreaded, ///< 1 CU, few contexts (latency sensitive)
+};
+
+const char *safetyModelName(SafetyModel model);
+const char *gpuProfileName(GpuProfile profile);
+
+/** Qualitative properties used by the Table 1 / Table 2 benches. */
+struct SafetyProperties {
+    bool safe;            ///< enforces OS page permissions
+    bool accelL1Cache;    ///< accelerator-side L1 caches allowed
+    bool accelL1Tlb;      ///< accelerator-side TLBs allowed
+    bool accelL2Cache;    ///< an L2 on the accelerator side of the border
+    bool hasBcc;          ///< Border Control Cache present
+    bool directPhysical;  ///< accelerator issues physical addresses
+};
+
+SafetyProperties safetyProperties(SafetyModel model);
+
+struct SystemConfig {
+    SafetyModel safety = SafetyModel::borderControlBcc;
+    GpuProfile profile = GpuProfile::highlyThreaded;
+
+    /** @name Table 3: CPU and clocks */
+    /// @{
+    std::uint64_t cpuFreqHz = 3'000'000'000ULL;
+    std::uint64_t gpuFreqHz = 700'000'000ULL;
+    unsigned cpuCores = 1;
+    Addr cpuL1Size = 64 * 1024;
+    Addr cpuL2Size = 2 * 1024 * 1024;
+    /// @}
+
+    /** @name Table 3: GPU shape */
+    /// @{
+    unsigned highlyThreadedCus = 8;
+    unsigned moderatelyThreadedCus = 1;
+    unsigned highlyThreadedWfsPerCu = 32;
+    unsigned moderatelyThreadedWfsPerCu = 16;
+    Addr gpuL1Size = 16 * 1024;
+    Addr highlyThreadedL2Size = 256 * 1024;
+    Addr moderatelyThreadedL2Size = 64 * 1024;
+    unsigned l1TlbEntries = 64;
+    unsigned l2TlbEntries = 512;
+    /// @}
+
+    /** @name Table 3: memory system */
+    /// @{
+    Addr physMemBytes = 3ULL * 1024 * 1024 * 1024; // -> 196 KB table
+    std::uint64_t memBandwidthBytesPerSec = 180ULL * 1000 * 1000 * 1000;
+    Tick dramAccessLatency = 50'000; // 50 ns
+    /// @}
+
+    /** @name Table 3: Border Control */
+    /// @{
+    unsigned bccEntries = 64;          // 8 KB BCC
+    unsigned bccPagesPerEntry = 512;
+    Cycles bccLatencyCycles = 10;
+    Cycles tableLatencyCycles = 100;
+    /// @}
+
+    /** @name Other latencies */
+    /// @{
+    Cycles gpuL1HitCycles = 4;
+    Cycles gpuL2HitCycles = 16;
+    Cycles l2TlbLatencyCycles = 20;
+    /** Extra front latency to the CAPI-like trusted L2 (one way). */
+    Cycles capiFrontCycles = 20;
+    Tick shootdownLatency = 500'000;    // 500 ns
+    Tick pageFaultLatency = 400'000;    // 400 ns
+    /// @}
+
+    /** Ablation: serialize read checks instead of overlapping them. */
+    bool bcSerializeReadChecks = false;
+
+    /** Permission-downgrade injection rate (Fig. 7); 0 disables. */
+    double downgradesPerSecond = 0.0;
+    /** Use the selective per-page downgrade flush (§3.2.4 option). */
+    bool selectiveFlush = false;
+
+    /** Workload scale factor and RNG seed. */
+    std::uint64_t workloadScale = 1;
+    std::uint64_t seed = 1;
+
+    /** Derived: GPU clock period in ticks. */
+    Tick gpuPeriod() const { return periodFromFrequency(gpuFreqHz); }
+    Tick cpuPeriod() const { return periodFromFrequency(cpuFreqHz); }
+
+    unsigned
+    numCus() const
+    {
+        return profile == GpuProfile::highlyThreaded
+                   ? highlyThreadedCus
+                   : moderatelyThreadedCus;
+    }
+    unsigned
+    wfsPerCu() const
+    {
+        return profile == GpuProfile::highlyThreaded
+                   ? highlyThreadedWfsPerCu
+                   : moderatelyThreadedWfsPerCu;
+    }
+    Addr
+    gpuL2Size() const
+    {
+        return profile == GpuProfile::highlyThreaded
+                   ? highlyThreadedL2Size
+                   : moderatelyThreadedL2Size;
+    }
+};
+
+/** Aggregated results of one simulated kernel execution. */
+struct RunResult {
+    std::string workload;
+    SafetyModel safety{};
+    GpuProfile profile{};
+
+    Tick runtimeTicks = 0;
+    double gpuCycles = 0;
+    std::uint64_t memOps = 0;
+
+    std::uint64_t borderRequests = 0;
+    double borderRequestsPerCycle = 0;
+    std::uint64_t bccHits = 0;
+    std::uint64_t bccMisses = 0;
+    double bccMissRatio = 0;
+
+    std::uint64_t violations = 0;  ///< blocked accesses (BC + IOMMU)
+    std::uint64_t downgrades = 0;
+    std::uint64_t pageFaults = 0;
+    std::uint64_t translations = 0;
+    std::uint64_t pageWalks = 0;
+
+    std::uint64_t dramBytes = 0;
+    double dramUtilization = 0;
+
+    std::uint64_t l1Hits = 0;
+    std::uint64_t l1Misses = 0;
+    std::uint64_t l2Hits = 0;
+    std::uint64_t l2Misses = 0;
+};
+
+} // namespace bctrl
+
+#endif // BCTRL_CONFIG_SYSTEM_CONFIG_HH

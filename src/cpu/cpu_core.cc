@@ -1,0 +1,157 @@
+#include "cpu/cpu_core.hh"
+
+#include "os/kernel.hh"
+#include "sim/logging.hh"
+
+namespace bctrl {
+
+CpuCore::CpuCore(EventQueue &eq, const std::string &name,
+                 const Params &params, Kernel &kernel,
+                 MemDevice &mem_path)
+    : SimObject(eq, name),
+      params_(params),
+      kernel_(kernel),
+      memPath_(mem_path),
+      tlb_(eq, name + ".dtlb", params.tlb),
+      opsExecuted_(statGroup().scalar("opsExecuted",
+                                      "memory operations completed")),
+      tlbMissWalks_(statGroup().scalar("tlbMissWalks",
+                                       "page walks on dTLB misses")),
+      faults_(statGroup().scalar("faults",
+                                 "operations abandoned on fault"))
+{
+    statGroup().addChild(&tlb_.statGroup());
+    panic_if(params_.clockPeriod == 0, "CPU clock period is zero");
+}
+
+Tick
+CpuCore::clockEdge(Cycles cycles) const
+{
+    Tick now = curTick();
+    Tick rem = now % params_.clockPeriod;
+    Tick edge = rem == 0 ? now : now + (params_.clockPeriod - rem);
+    return edge + cycles * params_.clockPeriod;
+}
+
+void
+CpuCore::bindProcess(Process &proc)
+{
+    panic_if(busy(), "rebinding a busy CPU core");
+    process_ = &proc;
+    tlb_.invalidateAll();
+}
+
+void
+CpuCore::run(std::vector<CpuOp> ops, std::function<void()> done)
+{
+    panic_if(process_ == nullptr, "run() before bindProcess()");
+    panic_if(busy(), "run() while the core is busy");
+    for (CpuOp &op : ops)
+        queue_.push_back(op);
+    done_ = std::move(done);
+    CpuCore *self = this;
+    eventQueue().scheduleLambda([self]() { self->step(); },
+                                clockEdge(1));
+}
+
+void
+CpuCore::step()
+{
+    if (queue_.empty()) {
+        if (done_) {
+            auto cb = std::move(done_);
+            done_ = nullptr;
+            cb();
+        }
+        return;
+    }
+    CpuOp op = queue_.front();
+    queue_.pop_front();
+    if (op.computeBefore > 0) {
+        CpuOp issue_op = op;
+        issue_op.computeBefore = 0;
+        queue_.push_front(issue_op);
+        CpuCore *self = this;
+        eventQueue().scheduleLambda([self]() { self->step(); },
+                                    clockEdge(op.computeBefore));
+        return;
+    }
+    execute(op);
+}
+
+void
+CpuCore::execute(const CpuOp &op)
+{
+    const Addr vpn = pageNumber(op.vaddr);
+    const Asid asid = process_->asid();
+    const Perms need{!op.write, op.write};
+
+    auto entry = tlb_.lookup(asid, vpn);
+    if (entry && entry->perms.covers(need)) {
+        const Addr paddr =
+            ((entry->ppn + (vpn - entry->vpn)) << pageShift) |
+            pageOffset(op.vaddr);
+        CpuCore *self = this;
+        CpuOp copy = op;
+        Addr pa = paddr;
+        eventQueue().scheduleLambda(
+            [self, copy, pa]() { self->issue(copy, pa); },
+            clockEdge(params_.tlbLatency));
+        return;
+    }
+
+    // dTLB miss: the CPU walks its own page table (charged as a fixed
+    // walk latency; the PTE traffic is small next to the data stream).
+    ++tlbMissWalks_;
+    WalkResult walk = process_->pageTable().walk(op.vaddr);
+    if (!walk.valid || !walk.perms.covers(need)) {
+        // Demand paging through the kernel, then retry once.
+        if (kernel_.handlePageFault(asid, op.vaddr, op.write)) {
+            walk = process_->pageTable().walk(op.vaddr);
+        }
+    }
+    if (!walk.valid || !walk.perms.covers(need)) {
+        ++faults_;
+        CpuCore *self = this;
+        eventQueue().scheduleLambda([self]() { self->step(); },
+                                    clockEdge(1));
+        return;
+    }
+
+    TlbEntry fill;
+    fill.asid = asid;
+    fill.largePage = walk.largePage;
+    fill.vpn = walk.largePage ? (vpn & ~(pagesPerLargePage - 1)) : vpn;
+    fill.ppn = walk.largePage
+                   ? (pageNumber(walk.paddr) & ~(pagesPerLargePage - 1))
+                   : pageNumber(walk.paddr);
+    fill.perms = walk.perms;
+    tlb_.insert(fill);
+
+    CpuCore *self = this;
+    CpuOp copy = op;
+    Addr pa = walk.paddr;
+    eventQueue().scheduleLambda(
+        [self, copy, pa]() { self->issue(copy, pa); },
+        clockEdge(params_.walkLatency));
+}
+
+void
+CpuCore::issue(const CpuOp &op, Addr paddr)
+{
+    inFlight_ = true;
+    auto pkt = Packet::make(op.write ? MemCmd::Write : MemCmd::Read,
+                            paddr, op.size, Requestor::cpu,
+                            process_->asid());
+    pkt->issuedAt = curTick();
+    CpuCore *self = this;
+    pkt->onResponse = [self](Packet &) {
+        self->inFlight_ = false;
+        ++self->opsExecuted_;
+        self->eventQueue().scheduleLambda([self]() { self->step(); },
+                                          self->clockEdge(1));
+    };
+    memPath_.access(pkt);
+}
+
+} // namespace bctrl

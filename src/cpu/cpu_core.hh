@@ -1,0 +1,99 @@
+/**
+ * @file
+ * A simple in-order CPU core model.
+ *
+ * The paper's system (Table 3) pairs the GPU with a host CPU that
+ * shares physical memory through the coherence point. This core is a
+ * timing traffic generator with the structures that matter to the
+ * memory system: its own TLB (CPUs walk their own page tables, unlike
+ * accelerators), a blocking load/store unit in front of its caches,
+ * and demand paging through the kernel. It drives the CPU side of
+ * CPU-GPU sharing in examples and coherence tests.
+ */
+
+#ifndef BCTRL_CPU_CPU_CORE_HH
+#define BCTRL_CPU_CPU_CORE_HH
+
+#include <deque>
+#include <functional>
+
+#include "mem/mem_device.hh"
+#include "sim/sim_object.hh"
+#include "vm/tlb.hh"
+
+namespace bctrl {
+
+class Kernel;
+class Process;
+
+/** One CPU memory operation with an optional compute gap before it. */
+struct CpuOp {
+    Addr vaddr = 0;
+    bool write = false;
+    unsigned size = 8;
+    Cycles computeBefore = 0;
+};
+
+class CpuCore : public SimObject
+{
+  public:
+    struct Params {
+        Tick clockPeriod = 333; // 3 GHz
+        Tlb::Params tlb{64, 4};
+        Cycles tlbLatency = 1;
+        /** Page-walk cost charged on a TLB miss (cycles). */
+        Cycles walkLatency = 60;
+    };
+
+    /**
+     * @param mem_path the core's L1 cache (or any memory device)
+     */
+    CpuCore(EventQueue &eq, const std::string &name,
+            const Params &params, Kernel &kernel, MemDevice &mem_path);
+
+    /** Bind the address space subsequent ops execute in. */
+    void bindProcess(Process &proc);
+
+    /**
+     * Enqueue @p ops and execute them in order; @p done fires after
+     * the last response. May be called again after completion.
+     */
+    void run(std::vector<CpuOp> ops, std::function<void()> done);
+
+    bool busy() const { return !queue_.empty() || inFlight_; }
+
+    Tlb &tlb() { return tlb_; }
+
+    std::uint64_t opsExecuted() const
+    {
+        return static_cast<std::uint64_t>(opsExecuted_.value());
+    }
+    std::uint64_t faults() const
+    {
+        return static_cast<std::uint64_t>(faults_.value());
+    }
+
+  private:
+    Tick clockEdge(Cycles cycles = 0) const;
+    void step();
+    void execute(const CpuOp &op);
+    void issue(const CpuOp &op, Addr paddr);
+
+    Params params_;
+    Kernel &kernel_;
+    MemDevice &memPath_;
+    Tlb tlb_;
+    Process *process_ = nullptr;
+
+    std::deque<CpuOp> queue_;
+    bool inFlight_ = false;
+    std::function<void()> done_;
+
+    stats::Scalar &opsExecuted_;
+    stats::Scalar &tlbMissWalks_;
+    stats::Scalar &faults_;
+};
+
+} // namespace bctrl
+
+#endif // BCTRL_CPU_CPU_CORE_HH

@@ -1,0 +1,65 @@
+#include "gpu/compute_unit.hh"
+
+#include <algorithm>
+
+#include "gpu/wavefront.hh"
+#include "sim/logging.hh"
+
+namespace bctrl {
+
+ComputeUnit::ComputeUnit(EventQueue &eq, const std::string &name,
+                         unsigned id, unsigned num_wavefronts,
+                         unsigned issue_width, Tick clock_period,
+                         Gpu &gpu)
+    : SimObject(eq, name),
+      id_(id),
+      issueWidth_(issue_width),
+      clockPeriod_(clock_period),
+      gpu_(gpu)
+{
+    panic_if(num_wavefronts == 0, "CU with zero wavefronts");
+    panic_if(issue_width == 0, "CU with zero issue width");
+    for (unsigned wf = 0; wf < num_wavefronts; ++wf)
+        wavefronts_.push_back(
+            std::make_unique<Wavefront>(*this, gpu, id, wf));
+}
+
+ComputeUnit::~ComputeUnit() = default;
+
+Tick
+ComputeUnit::clockEdge(Cycles cycles) const
+{
+    Tick now = curTick();
+    Tick rem = now % clockPeriod_;
+    Tick edge = rem == 0 ? now : now + (clockPeriod_ - rem);
+    return edge + cycles * clockPeriod_;
+}
+
+Tick
+ComputeUnit::acquireIssueSlot()
+{
+    const Tick slot_time =
+        std::max<Tick>(1, clockPeriod_ / issueWidth_);
+    Tick start = std::max(clockEdge(), issueBusyUntil_);
+    issueBusyUntil_ = start + slot_time;
+    return start;
+}
+
+Tick
+ComputeUnit::acquireIssueSlots(unsigned n)
+{
+    const Tick slot_time =
+        std::max<Tick>(1, clockPeriod_ / issueWidth_);
+    Tick start = std::max(clockEdge(), issueBusyUntil_);
+    issueBusyUntil_ = start + slot_time * std::max(1u, n);
+    return issueBusyUntil_;
+}
+
+void
+ComputeUnit::startAll()
+{
+    for (auto &wf : wavefronts_)
+        wf->start();
+}
+
+} // namespace bctrl

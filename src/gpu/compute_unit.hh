@@ -1,0 +1,67 @@
+/**
+ * @file
+ * A compute unit: a set of wavefront contexts sharing an issue port.
+ *
+ * Latency tolerance emerges from the wavefront count: while one
+ * wavefront waits on memory, others issue. The issue port accepts
+ * `issueWidth` memory instructions per cycle, which bounds the demand
+ * an 8-CU GPU can place on the memory system.
+ */
+
+#ifndef BCTRL_GPU_COMPUTE_UNIT_HH
+#define BCTRL_GPU_COMPUTE_UNIT_HH
+
+#include <memory>
+#include <vector>
+
+#include "sim/sim_object.hh"
+
+namespace bctrl {
+
+class Gpu;
+class Wavefront;
+
+class ComputeUnit : public SimObject
+{
+  public:
+    ComputeUnit(EventQueue &eq, const std::string &name, unsigned id,
+                unsigned num_wavefronts, unsigned issue_width,
+                Tick clock_period, Gpu &gpu);
+    ~ComputeUnit() override;
+
+    unsigned id() const { return id_; }
+
+    /** Launch all wavefront contexts. */
+    void startAll();
+
+    /** Next tick aligned to this CU's clock, @p cycles edges ahead. */
+    Tick clockEdge(Cycles cycles = 0) const;
+
+    /** Reserve an issue-port slot; @return the tick the op issues at. */
+    Tick acquireIssueSlot();
+
+    /**
+     * Reserve @p n consecutive issue slots (ALU instructions occupy
+     * the same single-issue port memory instructions do).
+     * @return the tick the last slot completes.
+     */
+    Tick acquireIssueSlots(unsigned n);
+
+    Gpu &gpu() { return gpu_; }
+    unsigned numWavefronts() const
+    {
+        return static_cast<unsigned>(wavefronts_.size());
+    }
+
+  private:
+    unsigned id_;
+    unsigned issueWidth_;
+    Tick clockPeriod_;
+    Gpu &gpu_;
+    Tick issueBusyUntil_ = 0;
+    std::vector<std::unique_ptr<Wavefront>> wavefronts_;
+};
+
+} // namespace bctrl
+
+#endif // BCTRL_GPU_COMPUTE_UNIT_HH

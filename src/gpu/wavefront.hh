@@ -1,0 +1,54 @@
+/**
+ * @file
+ * A wavefront context: executes its share of the workload's item
+ * stream — compute gaps and coalesced memory accesses — one item at a
+ * time, stalling on memory. Parks itself while the GPU is paused for a
+ * shootdown and resumes afterwards.
+ */
+
+#ifndef BCTRL_GPU_WAVEFRONT_HH
+#define BCTRL_GPU_WAVEFRONT_HH
+
+#include "workloads/workload.hh"
+
+namespace bctrl {
+
+class ComputeUnit;
+class Gpu;
+
+class Wavefront
+{
+  public:
+    Wavefront(ComputeUnit &cu, Gpu &gpu, unsigned cu_id, unsigned wf_id);
+
+    /** Begin executing (schedules the first step). */
+    void start();
+
+    /** Advance: fetch (or re-use a pending) item and execute it. */
+    void step();
+
+    /** Called by the GPU on resume() for parked wavefronts. */
+    void unpark();
+
+    bool done() const { return done_; }
+
+  private:
+    void execute(const WorkItem &item);
+    void issueMem(const WorkItem &item);
+    void memDone(bool denied);
+    void scheduleStep(Cycles cycles);
+
+    ComputeUnit &cu_;
+    Gpu &gpu_;
+    unsigned cuId_;
+    unsigned wfId_;
+
+    bool havePending_ = false;
+    WorkItem pending_;
+    bool done_ = false;
+    unsigned faults_ = 0;
+};
+
+} // namespace bctrl
+
+#endif // BCTRL_GPU_WAVEFRONT_HH

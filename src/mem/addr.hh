@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Address-manipulation constants and helpers.
+ *
+ * The memory system uses 4 KB pages (the minimum page size Border
+ * Control's Protection Table is indexed by) and 128 B cache/memory
+ * blocks, matching the paper's evaluated system.
+ */
+
+#ifndef BCTRL_MEM_ADDR_HH
+#define BCTRL_MEM_ADDR_HH
+
+#include "sim/types.hh"
+
+namespace bctrl {
+
+constexpr unsigned pageShift = 12;
+constexpr Addr pageSize = Addr(1) << pageShift;
+constexpr Addr pageMask = pageSize - 1;
+
+constexpr unsigned blockShift = 7;
+constexpr Addr blockSize = Addr(1) << blockShift; // 128 B
+constexpr Addr blockMask = blockSize - 1;
+
+/** Large (huge) page parameters, for the §3.4.4 path. */
+constexpr unsigned largePageShift = 21;
+constexpr Addr largePageSize = Addr(1) << largePageShift; // 2 MB
+constexpr Addr pagesPerLargePage = largePageSize / pageSize; // 512
+
+constexpr Addr
+pageAlign(Addr a)
+{
+    return a & ~pageMask;
+}
+
+constexpr Addr
+pageOffset(Addr a)
+{
+    return a & pageMask;
+}
+
+constexpr Addr
+pageNumber(Addr a)
+{
+    return a >> pageShift;
+}
+
+constexpr Addr
+blockAlign(Addr a)
+{
+    return a & ~blockMask;
+}
+
+constexpr Addr
+blockNumber(Addr a)
+{
+    return a >> blockShift;
+}
+
+/** Round @p a up to a multiple of @p align (a power of two). */
+constexpr Addr
+roundUp(Addr a, Addr align)
+{
+    return (a + align - 1) & ~(align - 1);
+}
+
+} // namespace bctrl
+
+#endif // BCTRL_MEM_ADDR_HH

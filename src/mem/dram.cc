@@ -1,0 +1,77 @@
+#include "mem/dram.hh"
+
+#include <algorithm>
+
+namespace bctrl {
+
+Dram::Dram(EventQueue &eq, const std::string &name, BackingStore &store,
+           const Params &params)
+    : SimObject(eq, name),
+      store_(store),
+      params_(params),
+      readReqs_(statGroup().scalar("readReqs", "read requests serviced")),
+      writeReqs_(statGroup().scalar("writeReqs",
+                                    "write requests serviced")),
+      bytesRead_(statGroup().scalar("bytesRead", "bytes read")),
+      bytesWritten_(statGroup().scalar("bytesWritten", "bytes written")),
+      readLatency_(statGroup().distribution(
+          "readLatency", "read latency including queueing (ticks)"))
+{
+}
+
+Tick
+Dram::transferTime(unsigned bytes) const
+{
+    unsigned effective = std::max(bytes, params_.minBurstBytes);
+    // ticks = bytes * ticksPerSecond / bytesPerSecond, computed without
+    // overflow for realistic parameters.
+    return static_cast<Tick>(
+        (static_cast<__uint128_t>(effective) * ticksPerSecond) /
+        params_.bytesPerSecond);
+}
+
+void
+Dram::access(const PacketPtr &pkt)
+{
+    const Tick now = curTick();
+    const Tick start = std::max(now, busyUntil_);
+    const Tick xfer = transferTime(pkt->size);
+    busyUntil_ = start + xfer;
+    busyTime_ += xfer;
+
+    if (pkt->isRead()) {
+        // Memory is the default owner: a fill that asked for a
+        // writable copy gets one when it reaches the memory endpoint
+        // directly (systems with a coherence point decide upstream).
+        if (pkt->needsWritable)
+            pkt->grantedWritable = true;
+        ++readReqs_;
+        bytesRead_ += pkt->size;
+        const Tick done = busyUntil_ + params_.accessLatency;
+        readLatency_.sample(static_cast<double>(done - now));
+        respondAt(eventQueue(), pkt, done);
+    } else {
+        ++writeReqs_;
+        bytesWritten_ += pkt->size;
+        // Writes are acknowledged once the channel accepts them.
+        respondAt(eventQueue(), pkt, busyUntil_);
+    }
+}
+
+double
+Dram::utilization() const
+{
+    const Tick now = curTick();
+    return now == 0 ? 0.0
+                    : static_cast<double>(busyTime_) /
+                          static_cast<double>(now);
+}
+
+std::uint64_t
+Dram::bytesTransferred() const
+{
+    return static_cast<std::uint64_t>(bytesRead_.value() +
+                                      bytesWritten_.value());
+}
+
+} // namespace bctrl

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * A bandwidth- and latency-limited DRAM controller model.
+ *
+ * The model is deliberately simple but captures the two first-order
+ * effects the paper's evaluation depends on: a fixed device access
+ * latency, and a peak bandwidth that saturates when (for example) the
+ * full-IOMMU configuration strips the accelerator of its caches and
+ * every request goes to memory.
+ */
+
+#ifndef BCTRL_MEM_DRAM_HH
+#define BCTRL_MEM_DRAM_HH
+
+#include "mem/backing_store.hh"
+#include "mem/mem_device.hh"
+#include "sim/sim_object.hh"
+
+namespace bctrl {
+
+class Dram : public SimObject, public MemDevice
+{
+  public:
+    struct Params {
+        /** Fixed access latency in ticks (row access, bus, controller). */
+        Tick accessLatency = 50'000; // 50 ns
+        /** Peak bandwidth in bytes per second. */
+        std::uint64_t bytesPerSecond = 180ULL * 1000 * 1000 * 1000;
+        /**
+         * Minimum transfer size: short requests still occupy the
+         * channel for this many bytes (burst granularity).
+         */
+        unsigned minBurstBytes = 64;
+    };
+
+    Dram(EventQueue &eq, const std::string &name, BackingStore &store,
+         const Params &params);
+
+    void access(const PacketPtr &pkt) override;
+
+    /** Fraction of elapsed time the channel was busy. */
+    double utilization() const;
+
+    const Params &params() const { return params_; }
+
+    /** Total demand bytes transferred (reads + writes). */
+    std::uint64_t bytesTransferred() const;
+
+  private:
+    Tick transferTime(unsigned bytes) const;
+
+    BackingStore &store_;
+    Params params_;
+    /** Tick at which the channel becomes free. */
+    Tick busyUntil_ = 0;
+    /** Accumulated busy time, for utilization. */
+    Tick busyTime_ = 0;
+
+    stats::Scalar &readReqs_;
+    stats::Scalar &writeReqs_;
+    stats::Scalar &bytesRead_;
+    stats::Scalar &bytesWritten_;
+    stats::Distribution &readLatency_;
+};
+
+} // namespace bctrl
+
+#endif // BCTRL_MEM_DRAM_HH

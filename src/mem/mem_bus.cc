@@ -1,0 +1,37 @@
+#include "mem/mem_bus.hh"
+
+#include <algorithm>
+
+namespace bctrl {
+
+MemBus::MemBus(EventQueue &eq, const std::string &name,
+               MemDevice &downstream, const Params &params)
+    : SimObject(eq, name),
+      downstream_(downstream),
+      params_(params),
+      packets_(statGroup().scalar("packets", "packets forwarded")),
+      bytes_(statGroup().scalar("bytes", "bytes forwarded"))
+{
+}
+
+void
+MemBus::access(const PacketPtr &pkt)
+{
+    ++packets_;
+    bytes_ += pkt->size;
+
+    Tick ready = curTick() + params_.latency;
+    if (params_.bytesPerSecond != 0) {
+        const Tick xfer = static_cast<Tick>(
+            (static_cast<__uint128_t>(pkt->size) * ticksPerSecond) /
+            params_.bytesPerSecond);
+        const Tick start = std::max(curTick(), busyUntil_);
+        busyUntil_ = start + xfer;
+        ready = busyUntil_ + params_.latency;
+    }
+
+    eventQueue().scheduleLambda(
+        [this, pkt]() { downstream_.access(pkt); }, ready);
+}
+
+} // namespace bctrl

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * A simple interconnect: fixed-latency, optionally bandwidth-limited
+ * forwarding from any number of upstream devices to one downstream
+ * device.
+ */
+
+#ifndef BCTRL_MEM_MEM_BUS_HH
+#define BCTRL_MEM_MEM_BUS_HH
+
+#include "mem/mem_device.hh"
+#include "sim/sim_object.hh"
+
+namespace bctrl {
+
+class MemBus : public SimObject, public MemDevice
+{
+  public:
+    struct Params {
+        /** One-way traversal latency in ticks. */
+        Tick latency = 2'000; // 2 ns
+        /** Peak bandwidth in bytes/s; 0 means unlimited. */
+        std::uint64_t bytesPerSecond = 0;
+    };
+
+    MemBus(EventQueue &eq, const std::string &name, MemDevice &downstream,
+           const Params &params);
+
+    void access(const PacketPtr &pkt) override;
+
+  private:
+    MemDevice &downstream_;
+    Params params_;
+    Tick busyUntil_ = 0;
+
+    stats::Scalar &packets_;
+    stats::Scalar &bytes_;
+};
+
+} // namespace bctrl
+
+#endif // BCTRL_MEM_MEM_BUS_HH

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * The timing-mode interface every memory-system component implements.
+ *
+ * A MemDevice accepts packets; responses travel back through the
+ * packet's onResponse callback, scheduled on the event queue at the
+ * responding device's computed completion tick. There is no explicit
+ * backpressure protocol: devices with finite resources (MSHRs, DRAM
+ * queues) model contention by delaying completion.
+ */
+
+#ifndef BCTRL_MEM_MEM_DEVICE_HH
+#define BCTRL_MEM_MEM_DEVICE_HH
+
+#include "mem/packet.hh"
+#include "sim/event_queue.hh"
+
+namespace bctrl {
+
+class MemDevice
+{
+  public:
+    virtual ~MemDevice() = default;
+
+    /** Accept @p pkt for timing processing. */
+    virtual void access(const PacketPtr &pkt) = 0;
+};
+
+/** Deliver @p pkt's response at tick @p when via the event queue. */
+inline void
+respondAt(EventQueue &eq, const PacketPtr &pkt, Tick when)
+{
+    if (!pkt->onResponse)
+        return;
+    eq.scheduleLambda([pkt]() {
+        if (pkt->onResponse) {
+            auto cb = std::move(pkt->onResponse);
+            pkt->onResponse = nullptr;
+            cb(*pkt);
+        }
+    }, when);
+}
+
+} // namespace bctrl
+
+#endif // BCTRL_MEM_MEM_DEVICE_HH

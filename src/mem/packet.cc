@@ -1,0 +1,49 @@
+#include "mem/packet.hh"
+
+#include "sim/logging.hh"
+
+namespace bctrl {
+
+namespace {
+
+const char *
+cmdName(MemCmd cmd)
+{
+    switch (cmd) {
+      case MemCmd::Read:
+        return "Read";
+      case MemCmd::Write:
+        return "Write";
+      case MemCmd::Writeback:
+        return "Writeback";
+    }
+    return "?";
+}
+
+} // namespace
+
+std::string
+Packet::toString() const
+{
+    return formatString("%s[%s 0x%llx sz=%u asid=%u%s]", cmdName(cmd),
+                        requestor == Requestor::cpu          ? "cpu"
+                        : requestor == Requestor::accelerator ? "acc"
+                                                              : "hw",
+                        (unsigned long long)paddr, size, (unsigned)asid,
+                        denied ? " DENIED" : "");
+}
+
+PacketPtr
+Packet::make(MemCmd cmd, Addr paddr, unsigned size, Requestor req,
+             Asid asid)
+{
+    auto pkt = std::make_shared<Packet>();
+    pkt->cmd = cmd;
+    pkt->paddr = paddr;
+    pkt->size = size;
+    pkt->requestor = req;
+    pkt->asid = asid;
+    return pkt;
+}
+
+} // namespace bctrl

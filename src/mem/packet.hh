@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Memory request packets exchanged between devices.
+ *
+ * A Packet carries one read, write, or writeback. The address is
+ * physical except on datapaths that translate at the border (the full
+ * IOMMU and CAPI-like configurations), where packets start out virtual.
+ */
+
+#ifndef BCTRL_MEM_PACKET_HH
+#define BCTRL_MEM_PACKET_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "mem/addr.hh"
+#include "sim/types.hh"
+
+namespace bctrl {
+
+enum class MemCmd : std::uint8_t {
+    Read,       ///< demand read (also used for cache fills)
+    Write,      ///< demand write (write-through traffic)
+    Writeback,  ///< eviction of a dirty block
+};
+
+/**
+ * Identifies the agent a packet originated from, for coherence and for
+ * Border Control's trusted/untrusted distinction.
+ */
+enum class Requestor : std::uint8_t {
+    cpu,        ///< trusted CPU core
+    accelerator, ///< the untrusted accelerator (GPU)
+    trustedHw,  ///< trusted hardware: page walker, Border Control itself
+};
+
+struct Packet;
+using PacketPtr = std::shared_ptr<Packet>;
+
+struct Packet {
+    MemCmd cmd = MemCmd::Read;
+    /** Physical address (valid unless isVirtual). */
+    Addr paddr = 0;
+    /** Virtual address, kept for translate-at-border datapaths. */
+    Addr vaddr = 0;
+    /** True while the packet still needs translation. */
+    bool isVirtual = false;
+    unsigned size = blockSize;
+    Asid asid = 0;
+    Requestor requestor = Requestor::cpu;
+    /** Tick the original requestor issued this packet. */
+    Tick issuedAt = 0;
+    /**
+     * Called exactly once when the response (or write ack) arrives.
+     * Null for fire-and-forget traffic.
+     */
+    std::function<void(Packet &)> onResponse;
+    /** Set if a safety mechanism denied the access. */
+    bool denied = false;
+    /**
+     * For cache fill reads: the requester intends to write, so it asks
+     * the coherence point for an exclusive (writable) copy.
+     */
+    bool needsWritable = false;
+    /**
+     * Set by the coherence point on the response path: whether the
+     * filled block may be held in a writable state. Never true for an
+     * untrusted requestor that asked read-only (paper §3.4.3).
+     */
+    bool grantedWritable = false;
+
+    bool isRead() const { return cmd == MemCmd::Read; }
+    bool isWrite() const { return cmd != MemCmd::Read; }
+    bool isWriteback() const { return cmd == MemCmd::Writeback; }
+
+    Addr blockAddr() const { return blockAlign(paddr); }
+    Addr pageNum() const { return pageNumber(paddr); }
+
+    std::string toString() const;
+
+    /** Convenience factory. */
+    static PacketPtr make(MemCmd cmd, Addr paddr, unsigned size,
+                          Requestor req, Asid asid = 0);
+};
+
+} // namespace bctrl
+
+#endif // BCTRL_MEM_PACKET_HH

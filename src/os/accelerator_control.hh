@@ -1,0 +1,47 @@
+/**
+ * @file
+ * The kernel's view of an accelerator: the operations the OS needs
+ * during shootdowns, permission downgrades, and process completion.
+ * The GPU model implements this; tests can provide mocks.
+ */
+
+#ifndef BCTRL_OS_ACCELERATOR_CONTROL_HH
+#define BCTRL_OS_ACCELERATOR_CONTROL_HH
+
+#include <functional>
+
+#include "sim/types.hh"
+
+namespace bctrl {
+
+class AcceleratorControl
+{
+  public:
+    virtual ~AcceleratorControl() = default;
+
+    /**
+     * Stop issuing new memory requests and run @p quiesced once all
+     * outstanding requests have completed ("finish all outstanding
+     * requests", §5.2.4 — where most of the downgrade time is spent).
+     */
+    virtual void pause(std::function<void()> quiesced) = 0;
+
+    /** Resume execution after a pause. */
+    virtual void resume() = 0;
+
+    /** Write back all dirty data and invalidate the caches. */
+    virtual void flushCaches(std::function<void()> done) = 0;
+
+    /** Selective flush of a single physical page (§3.2.4). */
+    virtual void flushCachePage(Addr ppn, std::function<void()> done) = 0;
+
+    /** Invalidate every accelerator TLB entry. */
+    virtual void invalidateTlbs() = 0;
+
+    /** Invalidate accelerator TLB entries for one page. */
+    virtual void invalidateTlbPage(Asid asid, Addr vpn) = 0;
+};
+
+} // namespace bctrl
+
+#endif // BCTRL_OS_ACCELERATOR_CONTROL_HH

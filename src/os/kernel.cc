@@ -1,0 +1,312 @@
+#include "os/kernel.hh"
+
+#include "bc/border_control.hh"
+#include "sim/logging.hh"
+#include "vm/ats.hh"
+#include "vm/iommu_frontend.hh"
+
+namespace bctrl {
+
+Kernel::Kernel(EventQueue &eq, const std::string &name,
+               BackingStore &store, const Params &params)
+    : SimObject(eq, name),
+      store_(store),
+      params_(params),
+      rng_(0x05c0ffee),
+      pageFaults_(statGroup().scalar("pageFaults",
+                                     "demand-paging faults serviced")),
+      shootdowns_(statGroup().scalar("shootdowns",
+                                     "TLB shootdown rounds")),
+      violationStat_(statGroup().scalar(
+          "violations", "Border Control violations reported to the OS"))
+{
+    // Reserve the first megabyte (frame 0 stays a null page).
+    nextFrame_ = 0x100000;
+}
+
+Kernel::~Kernel() = default;
+
+Addr
+Kernel::allocFrame()
+{
+    ++framesAllocated_;
+    if (!freeFrames_.empty()) {
+        Addr frame = freeFrames_.back();
+        freeFrames_.pop_back();
+        store_.zero(frame, pageSize);
+        return frame;
+    }
+    panic_if(nextFrame_ + pageSize > store_.size(),
+             "out of physical memory");
+    Addr frame = nextFrame_;
+    nextFrame_ += pageSize;
+    return frame;
+}
+
+void
+Kernel::freeFrame(Addr paddr)
+{
+    freeFrames_.push_back(pageAlign(paddr));
+}
+
+Addr
+Kernel::allocContiguous(Addr bytes, Addr align)
+{
+    const Addr size = roundUp(bytes, pageSize);
+    const Addr base = roundUp(nextFrame_, align);
+    panic_if(base + size > store_.size(),
+             "out of physical memory for contiguous allocation");
+    nextFrame_ = base + size;
+    store_.zero(base, size);
+    return base;
+}
+
+Process &
+Kernel::createProcess()
+{
+    Asid asid = nextAsid_++;
+    auto proc = std::make_unique<Process>(*this, asid, store_);
+    Process &ref = *proc;
+    processes_.emplace(asid, std::move(proc));
+    return ref;
+}
+
+Process *
+Kernel::findProcess(Asid asid)
+{
+    auto it = processes_.find(asid);
+    return it == processes_.end() ? nullptr : it->second.get();
+}
+
+void
+Kernel::destroyProcess(Process &proc)
+{
+    panic_if(accelRunning(proc.asid()),
+             "destroying a process still scheduled on the accelerator");
+    processes_.erase(proc.asid());
+}
+
+void
+Kernel::attachAccelerator(AcceleratorControl *accel, BorderControl *bc,
+                          Ats *ats)
+{
+    accel_ = accel;
+    borderControl_ = bc;
+    ats_ = ats;
+}
+
+bool
+Kernel::accelRunning(Asid asid) const
+{
+    return accelAsids_.count(asid) != 0;
+}
+
+void
+Kernel::scheduleOnAccelerator(Process &proc)
+{
+    panic_if(accelRunning(proc.asid()), "process already scheduled");
+    accelAsids_.insert(proc.asid());
+    if (borderControl_ != nullptr) {
+        if (!table_) {
+            // First process on an idle accelerator: allocate and zero a
+            // Protection Table covering all of physical memory, and
+            // program the base/bounds registers (Fig. 3a).
+            const Addr ppns = store_.numPages();
+            const Addr bytes =
+                roundUp(ppns, ProtectionTable::pagesPerByte) /
+                ProtectionTable::pagesPerByte;
+            const Addr base = allocContiguous(bytes);
+            table_ =
+                std::make_unique<ProtectionTable>(store_, base, ppns);
+            borderControl_->attachTable(table_.get());
+        }
+        borderControl_->incrUseCount();
+    }
+}
+
+void
+Kernel::releaseAccelerator(Process &proc, std::function<void()> done)
+{
+    panic_if(!accelRunning(proc.asid()),
+             "releasing a process that is not scheduled");
+    const Asid asid = proc.asid();
+
+    auto finish = [this, asid, done = std::move(done)]() {
+        if (ats_ != nullptr)
+            ats_->invalidateAsid(asid);
+        if (iommuFrontend_ != nullptr)
+            iommuFrontend_->invalidateAsid(asid);
+        if (accel_ != nullptr)
+            accel_->invalidateTlbs();
+        if (borderControl_ != nullptr) {
+            borderControl_->zeroTableAndInvalidate();
+            if (borderControl_->decrUseCount() == 0) {
+                borderControl_->detachTable();
+                table_.reset();
+                // The bump allocator does not reclaim the contiguous
+                // region eagerly; a real OS would return it to the
+                // frame pool here.
+            }
+        }
+        accelAsids_.erase(asid);
+        if (done)
+            done();
+    };
+
+    if (accel_ != nullptr)
+        accel_->flushCaches(finish);
+    else
+        finish();
+}
+
+bool
+Kernel::handlePageFault(Asid asid, Addr vaddr, bool need_write)
+{
+    Process *proc = findProcess(asid);
+    if (proc == nullptr)
+        return false;
+    bool ok = proc->handleFault(vaddr, need_write);
+    if (ok)
+        ++pageFaults_;
+    return ok;
+}
+
+void
+Kernel::onViolation(const Packet &pkt)
+{
+    ++violationStat_;
+    violations_.push_back(
+        ViolationRecord{curTick(), pkt.paddr, pkt.isWrite()});
+    if (params_.killOnViolation && accel_ != nullptr) {
+        warn("border violation at paddr 0x%llx: disabling accelerator",
+             (unsigned long long)pkt.paddr);
+    }
+}
+
+void
+Kernel::downgradePage(Process &proc, Addr vaddr, Perms new_perms,
+                      std::function<void()> done)
+{
+    WalkResult walk = proc.pageTable().walk(vaddr);
+    panic_if(!walk.valid, "downgrading an unmapped page 0x%llx",
+             (unsigned long long)vaddr);
+    const Addr ppn = pageNumber(walk.paddr);
+    const Perms table_perms =
+        (borderControl_ != nullptr && table_) ? table_->getPerms(ppn)
+                                              : walk.perms;
+    proc.protectPage(vaddr, new_perms);
+    shootdownAndDowngrade(proc, vaddr, table_perms, new_perms, false,
+                          Perms::noAccess(), std::move(done));
+}
+
+void
+Kernel::injectDowngrade(Process &proc, std::function<void()> done)
+{
+    const auto &vpns = proc.mappedVpns();
+    if (vpns.empty()) {
+        if (done)
+            done();
+        return;
+    }
+    const Addr vpn = vpns[rng_.nextBounded(vpns.size())];
+    const Addr vaddr = vpn << pageShift;
+    WalkResult walk = proc.pageTable().walk(vaddr);
+    if (!walk.valid) {
+        if (done)
+            done();
+        return;
+    }
+    const Addr ppn = pageNumber(walk.paddr);
+    const Perms table_perms =
+        (borderControl_ != nullptr && table_) ? table_->getPerms(ppn)
+                                              : walk.perms;
+    const Perms restore = walk.perms;
+    proc.protectPage(vaddr, Perms::readOnly());
+    shootdownAndDowngrade(proc, vaddr, table_perms, Perms::readOnly(),
+                          true, restore, std::move(done));
+}
+
+void
+Kernel::shootdownAndDowngrade(Process &proc, Addr vaddr,
+                              Perms table_perms, Perms new_perms,
+                              bool restore_after, Perms restore_perms,
+                              std::function<void()> done)
+{
+    Process *procp = &proc;
+    const Asid asid = proc.asid();
+    const Addr vpn = pageNumber(vaddr);
+    WalkResult walk = proc.pageTable().walk(vaddr);
+    const Addr ppn = walk.valid ? pageNumber(walk.paddr) : 0;
+    const Perms prior = table_perms;
+
+    auto protocol = [this, procp, asid, vaddr, vpn, ppn, prior,
+                     new_perms, restore_after, restore_perms,
+                     done = std::move(done)]() mutable {
+        // Quiesced: invalidate the stale translation everywhere.
+        ++shootdowns_;
+        if (accel_ != nullptr)
+            accel_->invalidateTlbPage(asid, vpn);
+        if (ats_ != nullptr)
+            ats_->invalidatePage(asid, vpn);
+        if (iommuFrontend_ != nullptr)
+            iommuFrontend_->invalidatePage(asid, vpn);
+
+        auto finish = [this, procp, vaddr, restore_perms,
+                       restore_after,
+                       done = std::move(done)]() mutable {
+            eventQueue().scheduleLambda(
+                [this, procp, vaddr, restore_perms, restore_after,
+                 done = std::move(done)]() mutable {
+                    if (restore_after)
+                        procp->protectPage(vaddr, restore_perms);
+                    ++downgradesPerformed_;
+                    if (accel_ != nullptr)
+                        accel_->resume();
+                    if (done)
+                        done();
+                },
+                curTick() + params_.shootdownLatency);
+        };
+
+        if (borderControl_ == nullptr || !table_) {
+            finish();
+            return;
+        }
+
+        if (prior.write) {
+            // The accelerator may hold dirty blocks of this page: they
+            // must be written back before the table is downgraded, or
+            // the later writeback would be (correctly but needlessly)
+            // blocked.
+            if (params_.selectiveFlush) {
+                accel_->flushCachePage(
+                    ppn, [this, ppn, new_perms,
+                          finish = std::move(finish)]() mutable {
+                        borderControl_->downgradePage(ppn, new_perms);
+                        finish();
+                    });
+            } else {
+                accel_->flushCaches([this, finish = std::move(finish)]()
+                                        mutable {
+                    // Equivalent full path: zero the table, invalidate
+                    // BCC and accelerator TLBs (§3.2.4).
+                    borderControl_->zeroTableAndInvalidate();
+                    accel_->invalidateTlbs();
+                    finish();
+                });
+            }
+        } else {
+            // Read-only page: no dirty blocks can exist; update the
+            // table and BCC in place.
+            borderControl_->downgradePage(ppn, new_perms);
+            finish();
+        }
+    };
+
+    if (accel_ != nullptr)
+        accel_->pause(std::move(protocol));
+    else
+        protocol();
+}
+
+} // namespace bctrl

@@ -1,0 +1,130 @@
+#include "os/process.hh"
+
+#include "os/kernel.hh"
+#include "sim/logging.hh"
+
+namespace bctrl {
+
+Process::Process(Kernel &kernel, Asid asid, BackingStore &store)
+    : kernel_(kernel),
+      asid_(asid),
+      pageTable_(std::make_unique<PageTable>(store, kernel))
+{
+}
+
+Process::~Process() = default;
+
+Addr
+Process::mmap(Addr bytes, Perms perms, bool populate, bool large_pages)
+{
+    const Addr align = large_pages ? largePageSize : pageSize;
+    const Addr start = roundUp(nextMmap_, align);
+    const Addr size = roundUp(bytes, align);
+    nextMmap_ = start + size + align; // guard gap
+    vmas_.push_back(Vma{start, start + size, perms, large_pages});
+    if (populate) {
+        const Vma &vma = vmas_.back();
+        const Addr step = large_pages ? largePageSize : pageSize;
+        for (Addr va = start; va < start + size; va += step)
+            mapPage(va, vma);
+    }
+    return start;
+}
+
+void
+Process::mapPage(Addr vaddr, const Vma &vma)
+{
+    if (vma.largePages) {
+        const Addr base = vaddr & ~(largePageSize - 1);
+        const Addr frame =
+            kernel_.allocContiguous(largePageSize, largePageSize);
+        pageTable_->mapLarge(base, frame, vma.perms);
+        for (Addr i = 0; i < pagesPerLargePage; ++i)
+            mappedVpns_.push_back(pageNumber(base) + i);
+    } else {
+        const Addr base = pageAlign(vaddr);
+        const Addr frame = kernel_.allocFrame();
+        pageTable_->map(base, frame, vma.perms);
+        mappedVpns_.push_back(pageNumber(base));
+    }
+}
+
+const Process::Vma *
+Process::findVma(Addr vaddr) const
+{
+    for (const Vma &vma : vmas_) {
+        if (vaddr >= vma.start && vaddr < vma.end)
+            return &vma;
+    }
+    return nullptr;
+}
+
+bool
+Process::handleFault(Addr vaddr, bool need_write)
+{
+    const Vma *vma = findVma(vaddr);
+    if (!vma)
+        return false; // segfault: no region covers this address
+    if (need_write && !vma->perms.write)
+        return false; // write to a read-only region
+    WalkResult existing = pageTable_->walk(vaddr);
+    if (existing.valid) {
+        // The mapping exists with region permissions; if it covers the
+        // need, the fault was spurious (e.g. raced with another mapper).
+        return existing.perms.covers(
+            Perms{!need_write, need_write});
+    }
+    mapPage(vaddr, *vma);
+    ++faultsServiced_;
+    return true;
+}
+
+void
+Process::protectRange(Addr vaddr, Addr bytes, Perms perms)
+{
+    const Addr end = vaddr + bytes;
+    for (Vma &vma : vmas_) {
+        if (vaddr < vma.end && end > vma.start) {
+            panic_if(vaddr > vma.start || end < vma.end,
+                     "partial-VMA protect is not supported");
+            vma.perms = perms;
+        }
+    }
+    for (Addr va = pageAlign(vaddr); va < end; va += pageSize) {
+        WalkResult walk = pageTable_->walk(va);
+        if (walk.valid) {
+            pageTable_->protect(va, perms);
+            if (walk.largePage)
+                va = (va & ~(largePageSize - 1)) + largePageSize -
+                     pageSize;
+        }
+    }
+}
+
+Perms
+Process::protectPage(Addr vaddr, Perms perms)
+{
+    return pageTable_->protect(pageAlign(vaddr), perms);
+}
+
+void
+Process::unmapRange(Addr vaddr, Addr bytes)
+{
+    const Addr end = vaddr + bytes;
+    for (Addr va = pageAlign(vaddr); va < end; va += pageSize) {
+        WalkResult walk = pageTable_->walk(va);
+        if (walk.valid && !walk.largePage) {
+            pageTable_->unmap(va);
+            kernel_.freeFrame(pageAlign(walk.paddr));
+        }
+    }
+    std::erase_if(vmas_, [&](const Vma &vma) {
+        return vma.start >= vaddr && vma.end <= end;
+    });
+    std::erase_if(mappedVpns_, [&](Addr vpn) {
+        Addr va = vpn << pageShift;
+        return va >= vaddr && va < end;
+    });
+}
+
+} // namespace bctrl

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * A process: an address space with demand-paged regions.
+ *
+ * Workloads allocate their buffers with mmap(); physical frames are
+ * assigned lazily on first touch (the common OS behaviour the paper's
+ * lazy Protection Table population mirrors), or eagerly when
+ * populate=true. Each process owns a page table resident in simulated
+ * physical memory.
+ */
+
+#ifndef BCTRL_OS_PROCESS_HH
+#define BCTRL_OS_PROCESS_HH
+
+#include <memory>
+#include <vector>
+
+#include "vm/page_table.hh"
+
+namespace bctrl {
+
+class Kernel;
+
+class Process
+{
+  public:
+    struct Vma {
+        Addr start = 0;
+        Addr end = 0; ///< one past the last byte
+        Perms perms;
+        bool largePages = false;
+    };
+
+    Process(Kernel &kernel, Asid asid, BackingStore &store);
+    ~Process();
+
+    Process(const Process &) = delete;
+    Process &operator=(const Process &) = delete;
+
+    Asid asid() const { return asid_; }
+    PageTable &pageTable() { return *pageTable_; }
+    const PageTable &pageTable() const { return *pageTable_; }
+
+    /**
+     * Reserve @p bytes of virtual address space.
+     * @param perms access permissions for the region
+     * @param populate map physical frames eagerly instead of on fault
+     * @param large_pages use 2 MB mappings (region is 2 MB aligned)
+     * @return the region's base virtual address
+     */
+    Addr mmap(Addr bytes, Perms perms, bool populate = false,
+              bool large_pages = false);
+
+    /**
+     * Change a region's permissions in the page table and VMA list.
+     * NOTE: the caller (Kernel) is responsible for the TLB shootdown
+     * and Border Control downgrade protocol.
+     */
+    void protectRange(Addr vaddr, Addr bytes, Perms perms);
+
+    /**
+     * Change one page's PTE permissions without altering the VMA (the
+     * transient, context-switch-style downgrade of Fig. 7).
+     * @return the previous permissions.
+     */
+    Perms protectPage(Addr vaddr, Perms perms);
+
+    /** Remove mappings for a range (Kernel drives the shootdown). */
+    void unmapRange(Addr vaddr, Addr bytes);
+
+    /**
+     * Demand-paging fault handler.
+     * @return true if a frame was mapped and the access may be retried.
+     */
+    bool handleFault(Addr vaddr, bool need_write);
+
+    /** The VMA containing @p vaddr, or nullptr. */
+    const Vma *findVma(Addr vaddr) const;
+
+    /** Virtual page numbers with a frame currently mapped. */
+    const std::vector<Addr> &mappedVpns() const { return mappedVpns_; }
+
+    std::uint64_t faultsServiced() const { return faultsServiced_; }
+
+  private:
+    Kernel &kernel_;
+    Asid asid_;
+    std::unique_ptr<PageTable> pageTable_;
+    std::vector<Vma> vmas_;
+    Addr nextMmap_ = 0x1000'0000;
+    std::vector<Addr> mappedVpns_;
+    std::uint64_t faultsServiced_ = 0;
+
+    void mapPage(Addr vaddr, const Vma &vma);
+};
+
+} // namespace bctrl
+
+#endif // BCTRL_OS_PROCESS_HH

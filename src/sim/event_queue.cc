@@ -1,0 +1,113 @@
+#include "sim/event_queue.hh"
+
+namespace bctrl {
+
+EventQueue::~EventQueue()
+{
+    // Drain the heap, deleting any queue-owned lambda events that never
+    // fired. Externally owned events are left to their owners.
+    while (!heap_.empty()) {
+        Entry e = heap_.top();
+        heap_.pop();
+        if (e.ownedLambda)
+            delete e.event;
+    }
+}
+
+void
+EventQueue::push(Event *ev, Tick when, bool owned_lambda)
+{
+    panic_if(when < curTick_,
+             "scheduling event '%s' in the past (%llu < %llu)",
+             ev->name().c_str(), (unsigned long long)when,
+             (unsigned long long)curTick_);
+    ev->scheduled_ = true;
+    ev->squashed_ = false;
+    ev->when_ = when;
+    ev->sequence_ = nextSequence_++;
+    heap_.push(Entry{when, ev->priority(), ev->sequence_, ev,
+                     owned_lambda});
+    ++liveEvents_;
+}
+
+void
+EventQueue::schedule(Event *ev, Tick when)
+{
+    panic_if(ev->scheduled_, "event '%s' is already scheduled",
+             ev->name().c_str());
+    push(ev, when, false);
+}
+
+void
+EventQueue::deschedule(Event *ev)
+{
+    panic_if(!ev->scheduled_, "descheduling unscheduled event '%s'",
+             ev->name().c_str());
+    // The heap entry stays behind; mark the event squashed so the entry
+    // is discarded when popped.
+    ev->scheduled_ = false;
+    ev->squashed_ = true;
+    --liveEvents_;
+}
+
+void
+EventQueue::reschedule(Event *ev, Tick when)
+{
+    if (ev->scheduled_)
+        deschedule(ev);
+    push(ev, when, false);
+}
+
+void
+EventQueue::scheduleLambda(std::function<void()> fn, Tick when,
+                           int priority)
+{
+    auto *ev = new LambdaEvent(std::move(fn), priority);
+    push(ev, when, true);
+}
+
+bool
+EventQueue::step()
+{
+    while (!heap_.empty()) {
+        Entry e = heap_.top();
+        heap_.pop();
+        Event *ev = e.event;
+        // A stale entry: the event was descheduled (and possibly
+        // rescheduled, in which case a newer entry exists with a newer
+        // sequence number).
+        if (ev->squashed_ && ev->sequence_ == e.sequence) {
+            ev->squashed_ = false;
+            if (e.ownedLambda)
+                delete ev;
+            continue;
+        }
+        if (!ev->scheduled_ || ev->sequence_ != e.sequence) {
+            // Superseded by a reschedule; drop silently.
+            continue;
+        }
+        panic_if(e.when < curTick_, "event time ran backwards");
+        curTick_ = e.when;
+        ev->scheduled_ = false;
+        --liveEvents_;
+        ++processed_;
+        ev->process();
+        if (e.ownedLambda)
+            delete ev;
+        return true;
+    }
+    return false;
+}
+
+Tick
+EventQueue::run(Tick maxTick)
+{
+    while (!heap_.empty()) {
+        if (heap_.top().when > maxTick)
+            break;
+        step();
+    }
+    return curTick_;
+}
+
+} // namespace bctrl

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * A global-order event queue for discrete-event simulation.
+ *
+ * Events are ordered by (tick, priority, insertion sequence); equal-tick
+ * events therefore execute in a deterministic order, which keeps every
+ * simulation reproducible for a given seed and configuration.
+ */
+
+#ifndef BCTRL_SIM_EVENT_QUEUE_HH
+#define BCTRL_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace bctrl {
+
+class EventQueue;
+
+/**
+ * Base class for all schedulable events.
+ *
+ * An Event is owned by whoever constructed it. The queue never deletes
+ * events; descheduling is implemented by squashing so the heap does not
+ * need random removal.
+ */
+class Event
+{
+  public:
+    /** Events with lower priority values run first at equal ticks. */
+    enum Priority : int {
+        coherencePriority = -10,
+        defaultPriority = 0,
+        statsPriority = 10,
+    };
+
+    explicit Event(int priority = defaultPriority)
+        : priority_(priority)
+    {}
+
+    virtual ~Event() = default;
+
+    Event(const Event &) = delete;
+    Event &operator=(const Event &) = delete;
+
+    /** Callback executed when the event's tick is reached. */
+    virtual void process() = 0;
+
+    /** @return a short description for debugging. */
+    virtual std::string name() const { return "event"; }
+
+    /** @return true if this event is currently in a queue. */
+    bool scheduled() const { return scheduled_; }
+
+    /** @return the tick at which this event will fire (if scheduled). */
+    Tick when() const { return when_; }
+
+    int priority() const { return priority_; }
+
+  private:
+    friend class EventQueue;
+
+    int priority_;
+    bool scheduled_ = false;
+    bool squashed_ = false;
+    Tick when_ = 0;
+    std::uint64_t sequence_ = 0;
+};
+
+/**
+ * An Event wrapping a std::function, for one-off callbacks.
+ *
+ * Unlike plain Event the queue deletes a LambdaEvent after it fires (or
+ * when a squashed instance is popped), so callers can schedule and forget.
+ */
+class LambdaEvent : public Event
+{
+  public:
+    explicit LambdaEvent(std::function<void()> fn,
+                         int priority = defaultPriority)
+        : Event(priority), fn_(std::move(fn))
+    {}
+
+    void process() override { fn_(); }
+    std::string name() const override { return "lambda-event"; }
+
+  private:
+    std::function<void()> fn_;
+};
+
+/**
+ * The discrete-event queue. One instance drives an entire simulated
+ * system; components hold a reference to it.
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+    ~EventQueue();
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time in ticks. */
+    Tick curTick() const { return curTick_; }
+
+    /** Schedule @p ev to fire at absolute tick @p when (>= curTick). */
+    void schedule(Event *ev, Tick when);
+
+    /** Remove @p ev from the queue without executing it. */
+    void deschedule(Event *ev);
+
+    /** Move an already-scheduled event to a new tick. */
+    void reschedule(Event *ev, Tick when);
+
+    /**
+     * Schedule a one-shot callback owned by the queue.
+     * @param fn callback to run
+     * @param when absolute tick
+     * @param priority intra-tick ordering
+     */
+    void scheduleLambda(std::function<void()> fn, Tick when,
+                        int priority = Event::defaultPriority);
+
+    /** @return true if no runnable events remain. */
+    bool empty() const { return liveEvents_ == 0; }
+
+    /** Number of live (non-squashed) events. */
+    std::uint64_t size() const { return liveEvents_; }
+
+    /**
+     * Run until the queue drains or @p maxTick passes.
+     * @return the tick of the last event processed.
+     */
+    Tick run(Tick maxTick = tickNever);
+
+    /**
+     * Execute at most one event.
+     * @return false if the queue was empty.
+     */
+    bool step();
+
+    /** Total events processed since construction. */
+    std::uint64_t eventsProcessed() const { return processed_; }
+
+  private:
+    struct Entry {
+        Tick when;
+        int priority;
+        std::uint64_t sequence;
+        Event *event;
+        bool ownedLambda;
+    };
+
+    struct EntryCompare {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            if (a.priority != b.priority)
+                return a.priority > b.priority;
+            return a.sequence > b.sequence;
+        }
+    };
+
+    void push(Event *ev, Tick when, bool owned_lambda);
+
+    std::priority_queue<Entry, std::vector<Entry>, EntryCompare> heap_;
+    Tick curTick_ = 0;
+    std::uint64_t nextSequence_ = 0;
+    std::uint64_t liveEvents_ = 0;
+    std::uint64_t processed_ = 0;
+};
+
+/**
+ * A component with its own clock domain, layered over the global
+ * picosecond tick. Provides cycle<->tick conversion and cycle-aligned
+ * scheduling helpers.
+ */
+class Clocked
+{
+  public:
+    /**
+     * @param eq the global event queue
+     * @param period_ticks clock period in ticks (picoseconds)
+     */
+    Clocked(EventQueue &eq, Tick period_ticks)
+        : eventq_(eq), period_(period_ticks)
+    {
+        panic_if(period_ == 0, "clock period must be nonzero");
+    }
+
+    Tick clockPeriod() const { return period_; }
+
+    /** Current time, in this domain's cycles (rounded down). */
+    Cycles curCycle() const { return eventq_.curTick() / period_; }
+
+    /** Convert a cycle count to ticks. */
+    Tick cyclesToTicks(Cycles c) const { return c * period_; }
+
+    /** The next tick aligned to this clock edge at or after now. */
+    Tick
+    nextCycleTick() const
+    {
+        Tick now = eventq_.curTick();
+        Tick rem = now % period_;
+        return rem == 0 ? now : now + (period_ - rem);
+    }
+
+    /** Absolute tick @p cycles clock edges from now. */
+    Tick
+    clockEdge(Cycles cycles) const
+    {
+        return nextCycleTick() + cycles * period_;
+    }
+
+    EventQueue &eventQueue() const { return eventq_; }
+
+  private:
+    EventQueue &eventq_;
+    Tick period_;
+};
+
+} // namespace bctrl
+
+#endif // BCTRL_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,95 @@
+#include "sim/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace bctrl {
+
+namespace {
+bool verboseFlag = true;
+} // namespace
+
+void
+setLogVerbose(bool verbose)
+{
+    verboseFlag = verbose;
+}
+
+bool
+logVerbose()
+{
+    return verboseFlag;
+}
+
+std::string
+vformatString(const char *fmt, std::va_list args)
+{
+    std::va_list args_copy;
+    va_copy(args_copy, args);
+    int needed = std::vsnprintf(nullptr, 0, fmt, args_copy);
+    va_end(args_copy);
+    if (needed < 0)
+        return "<format error>";
+    std::vector<char> buf(static_cast<std::size_t>(needed) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, args);
+    return std::string(buf.data(), static_cast<std::size_t>(needed));
+}
+
+std::string
+formatString(const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    std::string out = vformatString(fmt, args);
+    va_end(args);
+    return out;
+}
+
+void
+panicImpl(const char *file, int line, const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    std::string msg = vformatString(fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    std::string msg = vformatString(fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::exit(1);
+}
+
+void
+warnImpl(const char *fmt, ...)
+{
+    if (!verboseFlag)
+        return;
+    std::va_list args;
+    va_start(args, fmt);
+    std::string msg = vformatString(fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+informImpl(const char *fmt, ...)
+{
+    if (!verboseFlag)
+        return;
+    std::va_list args;
+    va_start(args, fmt);
+    std::string msg = vformatString(fmt, args);
+    va_end(args);
+    std::fprintf(stdout, "info: %s\n", msg.c_str());
+}
+
+} // namespace bctrl

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Logging and error-reporting helpers in the gem5 tradition.
+ *
+ * panic()  - an internal simulator invariant was violated; aborts.
+ * fatal()  - the user asked for something unsatisfiable; exits cleanly.
+ * warn()   - something questionable happened but simulation continues.
+ * inform() - status output for the user.
+ */
+
+#ifndef BCTRL_SIM_LOGGING_HH
+#define BCTRL_SIM_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace bctrl {
+
+[[noreturn]] void panicImpl(const char *file, int line, const char *fmt, ...);
+[[noreturn]] void fatalImpl(const char *file, int line, const char *fmt, ...);
+void warnImpl(const char *fmt, ...);
+void informImpl(const char *fmt, ...);
+
+/** Enable or disable inform()/warn() output (tests silence it). */
+void setLogVerbose(bool verbose);
+
+/** @return whether inform()/warn() output is enabled. */
+bool logVerbose();
+
+/** printf-style formatting into a std::string. */
+std::string vformatString(const char *fmt, std::va_list args);
+std::string formatString(const char *fmt, ...);
+
+} // namespace bctrl
+
+#define panic(...) ::bctrl::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define fatal(...) ::bctrl::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define warn(...) ::bctrl::warnImpl(__VA_ARGS__)
+#define inform(...) ::bctrl::informImpl(__VA_ARGS__)
+
+#define panic_if(cond, ...)                                                  \
+    do {                                                                     \
+        if (cond)                                                            \
+            panic(__VA_ARGS__);                                              \
+    } while (0)
+
+#define fatal_if(cond, ...)                                                  \
+    do {                                                                     \
+        if (cond)                                                            \
+            fatal(__VA_ARGS__);                                              \
+    } while (0)
+
+#endif // BCTRL_SIM_LOGGING_HH

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload synthesis.
+ *
+ * A small xoshiro256** implementation so results do not depend on the
+ * standard library's unspecified distributions; every workload run with
+ * the same seed produces the same address trace on any platform.
+ */
+
+#ifndef BCTRL_SIM_RANDOM_HH
+#define BCTRL_SIM_RANDOM_HH
+
+#include <cstdint>
+
+namespace bctrl {
+
+class Random
+{
+  public:
+    explicit Random(std::uint64_t seed = 0x5eedbc01deadbeefULL);
+
+    /** Uniform 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound), bound > 0. */
+    std::uint64_t nextBounded(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t nextRange(std::uint64_t lo, std::uint64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli draw with probability @p p of true. */
+    bool nextBool(double p);
+
+    /**
+     * Geometric-ish draw: number of failures before a success with
+     * probability @p p, capped at @p cap. Used for compute-gap lengths.
+     */
+    std::uint64_t nextGeometric(double p, std::uint64_t cap);
+
+  private:
+    std::uint64_t state_[4];
+};
+
+} // namespace bctrl
+
+#endif // BCTRL_SIM_RANDOM_HH

@@ -1,0 +1,10 @@
+#include "sim/sim_object.hh"
+
+namespace bctrl {
+
+SimObject::SimObject(EventQueue &eq, std::string name)
+    : eventq_(eq), name_(std::move(name)), statGroup_(name_)
+{
+}
+
+} // namespace bctrl

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * SimObject: the common base for every named simulated component.
+ *
+ * A SimObject owns a StatGroup keyed by its hierarchical name and holds
+ * a reference to the global event queue. Systems are built by wiring
+ * SimObjects together; the System object (config/system_builder) owns
+ * them.
+ */
+
+#ifndef BCTRL_SIM_SIM_OBJECT_HH
+#define BCTRL_SIM_SIM_OBJECT_HH
+
+#include <string>
+
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace bctrl {
+
+class SimObject
+{
+  public:
+    /**
+     * @param eq the global event queue driving this object
+     * @param name hierarchical dotted name, e.g. "system.gpu.cu0.l1d"
+     */
+    SimObject(EventQueue &eq, std::string name);
+    virtual ~SimObject() = default;
+
+    SimObject(const SimObject &) = delete;
+    SimObject &operator=(const SimObject &) = delete;
+
+    const std::string &name() const { return name_; }
+
+    EventQueue &eventQueue() const { return eventq_; }
+
+    Tick curTick() const { return eventq_.curTick(); }
+
+    stats::StatGroup &statGroup() { return statGroup_; }
+    const stats::StatGroup &statGroup() const { return statGroup_; }
+
+  private:
+    EventQueue &eventq_;
+    std::string name_;
+    stats::StatGroup statGroup_;
+};
+
+} // namespace bctrl
+
+#endif // BCTRL_SIM_SIM_OBJECT_HH

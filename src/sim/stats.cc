@@ -1,0 +1,123 @@
+#include "sim/stats.hh"
+
+#include <iomanip>
+#include <memory>
+
+namespace bctrl {
+namespace stats {
+
+void
+Scalar::print(std::ostream &os) const
+{
+    os << std::left << std::setw(48) << name() << " "
+       << std::setprecision(12) << value_ << "  # " << desc() << "\n";
+}
+
+void
+Distribution::sample(double v, std::uint64_t count)
+{
+    if (count_ == 0) {
+        min_ = v;
+        max_ = v;
+    } else {
+        if (v < min_)
+            min_ = v;
+        if (v > max_)
+            max_ = v;
+    }
+    count_ += count;
+    sum_ += v * static_cast<double>(count);
+}
+
+void
+Distribution::print(std::ostream &os) const
+{
+    os << std::left << std::setw(48) << (name() + "::mean") << " "
+       << mean() << "  # " << desc() << "\n";
+    os << std::left << std::setw(48) << (name() + "::count") << " "
+       << count_ << "\n";
+    os << std::left << std::setw(48) << (name() + "::min") << " " << min()
+       << "\n";
+    os << std::left << std::setw(48) << (name() + "::max") << " " << max()
+       << "\n";
+}
+
+void
+Distribution::reset()
+{
+    count_ = 0;
+    sum_ = 0;
+    min_ = 0;
+    max_ = 0;
+}
+
+void
+Formula::print(std::ostream &os) const
+{
+    os << std::left << std::setw(48) << name() << " " << value() << "  # "
+       << desc() << "\n";
+}
+
+Scalar &
+StatGroup::scalar(const std::string &name, const std::string &desc)
+{
+    auto stat = std::make_unique<Scalar>(prefix_ + "." + name, desc);
+    Scalar &ref = *stat;
+    stats_.push_back(std::move(stat));
+    return ref;
+}
+
+Distribution &
+StatGroup::distribution(const std::string &name, const std::string &desc)
+{
+    auto stat = std::make_unique<Distribution>(prefix_ + "." + name, desc);
+    Distribution &ref = *stat;
+    stats_.push_back(std::move(stat));
+    return ref;
+}
+
+Formula &
+StatGroup::formula(const std::string &name, const std::string &desc,
+                   std::function<double()> fn)
+{
+    auto stat = std::make_unique<Formula>(prefix_ + "." + name, desc,
+                                          std::move(fn));
+    Formula &ref = *stat;
+    stats_.push_back(std::move(stat));
+    return ref;
+}
+
+const Stat *
+StatGroup::find(const std::string &full_name) const
+{
+    for (const auto &s : stats_) {
+        if (s->name() == full_name)
+            return s.get();
+    }
+    for (const StatGroup *child : children_) {
+        if (const Stat *s = child->find(full_name))
+            return s;
+    }
+    return nullptr;
+}
+
+void
+StatGroup::print(std::ostream &os) const
+{
+    for (const auto &s : stats_)
+        s->print(os);
+    for (const StatGroup *child : children_)
+        child->print(os);
+}
+
+void
+StatGroup::reset()
+{
+    for (const auto &s : stats_)
+        s->reset();
+    for (StatGroup *child : children_)
+        child->reset();
+}
+
+} // namespace stats
+} // namespace bctrl

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * A small statistics framework in the spirit of gem5's stats package.
+ *
+ * Components own Scalar / Average / Distribution / Formula statistics,
+ * register them with a StatGroup, and a whole system's stats can be
+ * dumped as text or harvested programmatically by the benchmark
+ * harnesses.
+ */
+
+#ifndef BCTRL_SIM_STATS_HH
+#define BCTRL_SIM_STATS_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace bctrl {
+namespace stats {
+
+/** Base class for all statistics. */
+class Stat
+{
+  public:
+    Stat(std::string name, std::string desc)
+        : name_(std::move(name)), desc_(std::move(desc))
+    {}
+    virtual ~Stat() = default;
+
+    const std::string &name() const { return name_; }
+    const std::string &desc() const { return desc_; }
+
+    /** Render this stat's value(s) to @p os, one line per value. */
+    virtual void print(std::ostream &os) const = 0;
+
+    /** Reset to the just-constructed state. */
+    virtual void reset() = 0;
+
+  private:
+    std::string name_;
+    std::string desc_;
+};
+
+/** A monotonically updated counter / value. */
+class Scalar : public Stat
+{
+  public:
+    using Stat::Stat;
+
+    Scalar &operator++() { ++value_; return *this; }
+    Scalar &operator+=(double v) { value_ += v; return *this; }
+    Scalar &operator=(double v) { value_ = v; return *this; }
+
+    double value() const { return value_; }
+
+    void print(std::ostream &os) const override;
+    void reset() override { value_ = 0; }
+
+  private:
+    double value_ = 0;
+};
+
+/** Mean / count / min / max of a stream of samples. */
+class Distribution : public Stat
+{
+  public:
+    using Stat::Stat;
+
+    void sample(double v, std::uint64_t count = 1);
+
+    std::uint64_t count() const { return count_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    double sum() const { return sum_; }
+
+    void print(std::ostream &os) const override;
+    void reset() override;
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0;
+    double min_ = 0;
+    double max_ = 0;
+};
+
+/** A value computed on demand from other stats. */
+class Formula : public Stat
+{
+  public:
+    Formula(std::string name, std::string desc,
+            std::function<double()> fn)
+        : Stat(std::move(name), std::move(desc)), fn_(std::move(fn))
+    {}
+
+    double value() const { return fn_(); }
+
+    void print(std::ostream &os) const override;
+    void reset() override {}
+
+  private:
+    std::function<double()> fn_;
+};
+
+/**
+ * A named group of statistics. Groups form a tree through the owning
+ * SimObjects; the root group prints everything.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string prefix) : prefix_(std::move(prefix)) {}
+
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
+
+    /** Create and register a Scalar named "<prefix>.<name>". */
+    Scalar &scalar(const std::string &name, const std::string &desc);
+    /** Create and register a Distribution. */
+    Distribution &distribution(const std::string &name,
+                               const std::string &desc);
+    /** Create and register a Formula. */
+    Formula &formula(const std::string &name, const std::string &desc,
+                     std::function<double()> fn);
+
+    /** Register a child group (not owned). */
+    void addChild(StatGroup *child) { children_.push_back(child); }
+
+    /** Find a stat by fully qualified name; nullptr if absent. */
+    const Stat *find(const std::string &full_name) const;
+
+    /** Print this group's and all children's stats. */
+    void print(std::ostream &os) const;
+
+    /** Reset this group's and all children's stats. */
+    void reset();
+
+    const std::string &prefix() const { return prefix_; }
+
+  private:
+    std::string prefix_;
+    std::vector<std::unique_ptr<Stat>> stats_;
+    std::vector<StatGroup *> children_;
+};
+
+} // namespace stats
+} // namespace bctrl
+
+#endif // BCTRL_SIM_STATS_HH

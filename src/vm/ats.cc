@@ -1,0 +1,231 @@
+#include "vm/ats.hh"
+
+#include <algorithm>
+#include <memory>
+
+#include "bc/border_control.hh"
+#include "os/kernel.hh"
+#include "sim/logging.hh"
+
+namespace bctrl {
+
+namespace {
+
+/** In-flight page-walk bookkeeping, shared across the PTE-read chain. */
+struct WalkState {
+    Asid asid = 0;
+    Addr vaddr = 0;
+    bool needWrite = false;
+    bool afterFault = false;
+    WalkResult result;
+    Ats::Callback cb;
+    std::size_t next = 0;
+};
+
+} // namespace
+
+Ats::Ats(EventQueue &eq, const std::string &name, const Params &params,
+         MemDevice &walk_path)
+    : SimObject(eq, name),
+      params_(params),
+      walkPath_(walk_path),
+      l2Tlb_(eq, name + ".l2tlb", params.l2Tlb),
+      translations_(statGroup().scalar("translations",
+                                       "translation requests serviced")),
+      walks_(statGroup().scalar("walks", "page table walks performed")),
+      faultsServiced_(statGroup().scalar(
+          "faultsServiced", "demand-paging faults taken during walks")),
+      failures_(statGroup().scalar("failures",
+                                   "translations that faulted fatally"))
+{
+    statGroup().addChild(&l2Tlb_.statGroup());
+    panic_if(params_.clockPeriod == 0, "ATS clock period is zero");
+    panic_if(params_.translationsPerCycle == 0,
+             "ATS must accept at least one translation per cycle");
+}
+
+Tick
+Ats::clockEdge(Cycles cycles) const
+{
+    Tick now = curTick();
+    Tick rem = now % params_.clockPeriod;
+    Tick edge = rem == 0 ? now : now + (params_.clockPeriod - rem);
+    return edge + cycles * params_.clockPeriod;
+}
+
+Tick
+Ats::acquireSlot()
+{
+    const Tick slot_time =
+        params_.clockPeriod / params_.translationsPerCycle;
+    Tick start = std::max(clockEdge(), slotBusyUntil_);
+    slotBusyUntil_ = start + std::max<Tick>(1, slot_time);
+    return start;
+}
+
+void
+Ats::fail(Callback cb, Tick when)
+{
+    ++failures_;
+    eventQueue().scheduleLambda(
+        [cb = std::move(cb)]() { cb(false, TlbEntry{}); }, when);
+}
+
+void
+Ats::translate(Asid asid, Addr vaddr, bool need_write, Callback cb)
+{
+    ++translations_;
+    const Tick start = acquireSlot();
+    const Tick lookup_done =
+        start + params_.l2TlbLatency * params_.clockPeriod;
+
+    // The ATS checks that the ASID corresponds to a process running on
+    // the accelerator (§3.2.2).
+    if (kernel_ == nullptr || !kernel_->accelRunning(asid)) {
+        fail(std::move(cb), lookup_done);
+        return;
+    }
+
+    eventQueue().scheduleLambda(
+        [this, asid, vaddr, need_write, cb = std::move(cb)]() mutable {
+            const Addr vpn = pageNumber(vaddr);
+            if (auto entry = l2Tlb_.lookup(asid, vpn)) {
+                if (!need_write || entry->perms.write) {
+                    // Even on an L2 TLB hit Border Control is notified:
+                    // the Protection Table is updated on *every*
+                    // accelerator request to the ATS (§3.1.1).
+                    if (borderControl_ != nullptr) {
+                        borderControl_->onTranslation(
+                            asid, entry->vpn, entry->ppn, entry->perms,
+                            entry->largePage);
+                    }
+                    cb(true, *entry);
+                    return;
+                }
+                // Cached entry lacks write permission: re-walk; the PTE
+                // may have been upgraded since.
+            }
+            startWalk(asid, vaddr, need_write, std::move(cb), false);
+        },
+        lookup_done);
+}
+
+void
+Ats::startWalk(Asid asid, Addr vaddr, bool need_write, Callback cb,
+               bool after_fault)
+{
+    Process *proc = kernel_->findProcess(asid);
+    if (proc == nullptr) {
+        fail(std::move(cb), clockEdge(1));
+        return;
+    }
+
+    ++walks_;
+    auto state = std::make_shared<WalkState>();
+    state->asid = asid;
+    state->vaddr = vaddr;
+    state->needWrite = need_write;
+    state->afterFault = after_fault;
+    state->result = proc->pageTable().walk(vaddr);
+    state->cb = std::move(cb);
+
+    // Issue the chain of dependent PTE reads through the trusted path;
+    // each response triggers the next read, then walkDone.
+    issueNextPte(state);
+}
+
+void
+Ats::issueNextPte(const std::shared_ptr<void> &opaque)
+{
+    auto state = std::static_pointer_cast<WalkState>(opaque);
+    if (state->next >= state->result.pteAddrs.size()) {
+        walkDone(opaque);
+        return;
+    }
+    const Addr pte_addr = state->result.pteAddrs[state->next++];
+    auto pkt =
+        Packet::make(MemCmd::Read, pte_addr, 8, Requestor::trustedHw);
+    pkt->issuedAt = curTick();
+    pkt->onResponse = [this, opaque](Packet &) { issueNextPte(opaque); };
+    walkPath_.access(pkt);
+}
+
+void
+Ats::walkDone(const std::shared_ptr<void> &opaque)
+{
+    auto state = std::static_pointer_cast<WalkState>(opaque);
+    const WalkResult &r = state->result;
+    const bool ok =
+        r.valid && (state->needWrite ? r.perms.write : r.perms.read);
+
+    if (ok) {
+        finishTranslation(state->asid, state->vaddr, r, curTick(),
+                          std::move(state->cb));
+        return;
+    }
+
+    if (!state->afterFault &&
+        kernel_->handlePageFault(state->asid, state->vaddr,
+                                 state->needWrite)) {
+        ++faultsServiced_;
+        // Charge the OS fault-service latency, then re-walk with the
+        // now-installed mapping.
+        Asid asid = state->asid;
+        Addr vaddr = state->vaddr;
+        bool need_write = state->needWrite;
+        Callback cb = std::move(state->cb);
+        eventQueue().scheduleLambda(
+            [this, asid, vaddr, need_write, cb = std::move(cb)]() mutable {
+                startWalk(asid, vaddr, need_write, std::move(cb), true);
+            },
+            curTick() + kernel_->pageFaultLatency());
+        return;
+    }
+
+    fail(std::move(state->cb), clockEdge(1));
+}
+
+void
+Ats::finishTranslation(Asid asid, Addr vaddr, const WalkResult &result,
+                       Tick when, Callback cb)
+{
+    TlbEntry entry;
+    entry.asid = asid;
+    entry.largePage = result.largePage;
+    if (result.largePage) {
+        entry.vpn = pageNumber(vaddr) & ~(pagesPerLargePage - 1);
+        entry.ppn = pageNumber(result.paddr) & ~(pagesPerLargePage - 1);
+    } else {
+        entry.vpn = pageNumber(vaddr);
+        entry.ppn = pageNumber(result.paddr);
+    }
+    entry.perms = result.perms;
+
+    l2Tlb_.insert(entry);
+    if (borderControl_ != nullptr) {
+        borderControl_->onTranslation(asid, entry.vpn, entry.ppn,
+                                      entry.perms, entry.largePage);
+    }
+    eventQueue().scheduleLambda(
+        [cb = std::move(cb), entry]() { cb(true, entry); }, when);
+}
+
+void
+Ats::invalidatePage(Asid asid, Addr vpn)
+{
+    l2Tlb_.invalidatePage(asid, vpn);
+}
+
+void
+Ats::invalidateAsid(Asid asid)
+{
+    l2Tlb_.invalidateAsid(asid);
+}
+
+void
+Ats::invalidateAll()
+{
+    l2Tlb_.invalidateAll();
+}
+
+} // namespace bctrl

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * The Address Translation Service (ATS), the translation half of the
+ * IOMMU (paper §2.3).
+ *
+ * Accelerators cannot walk page tables themselves; on an accelerator
+ * TLB miss they ask the ATS, which checks that the ASID belongs to a
+ * process scheduled on the accelerator, consults its trusted shared L2
+ * TLB, walks the process page table in simulated memory on a miss
+ * (four dependent PTE reads), services demand-paging faults through
+ * the kernel, and mirrors every successful translation to Border
+ * Control so the Protection Table stays lazily up to date (Fig. 3b).
+ */
+
+#ifndef BCTRL_VM_ATS_HH
+#define BCTRL_VM_ATS_HH
+
+#include <functional>
+#include <memory>
+
+#include "mem/mem_device.hh"
+#include "sim/sim_object.hh"
+#include "vm/page_table.hh"
+#include "vm/tlb.hh"
+
+namespace bctrl {
+
+class Kernel;
+class BorderControl;
+
+class Ats : public SimObject
+{
+  public:
+    struct Params {
+        Tlb::Params l2Tlb{512, 8};
+        /** L2 TLB lookup latency, in ATS clock cycles. */
+        Cycles l2TlbLatency = 20;
+        /** ATS clock period in ticks. */
+        Tick clockPeriod = 1'429; // matches the accelerator clock
+        /**
+         * Translations accepted per cycle. The IOMMU's translation
+         * service is a shared, single-ported unit.
+         */
+        unsigned translationsPerCycle = 1;
+    };
+
+    /** Completion callback: success flag plus the filled entry. */
+    using Callback = std::function<void(bool ok, const TlbEntry &entry)>;
+
+    /**
+     * @param walk_path trusted path to memory for PTE reads
+     */
+    Ats(EventQueue &eq, const std::string &name, const Params &params,
+        MemDevice &walk_path);
+
+    /** The kernel provides ASID validation, page tables, and faults. */
+    void setKernel(Kernel *kernel) { kernel_ = kernel; }
+
+    /** Optional: Border Control to notify on each translation. */
+    void setBorderControl(BorderControl *bc) { borderControl_ = bc; }
+
+    /**
+     * Translate (@p asid, @p vaddr); @p need_write requests write
+     * permission. @p cb runs when the translation (including any page
+     * walk and fault service) completes.
+     */
+    void translate(Asid asid, Addr vaddr, bool need_write, Callback cb);
+
+    /** @name Shootdown interface */
+    /// @{
+    void invalidatePage(Asid asid, Addr vpn);
+    void invalidateAsid(Asid asid);
+    void invalidateAll();
+    /// @}
+
+    Tlb &l2Tlb() { return l2Tlb_; }
+
+    std::uint64_t translations() const
+    {
+        return static_cast<std::uint64_t>(translations_.value());
+    }
+    std::uint64_t walks() const
+    {
+        return static_cast<std::uint64_t>(walks_.value());
+    }
+    std::uint64_t translationFaults() const
+    {
+        return static_cast<std::uint64_t>(failures_.value());
+    }
+
+  private:
+    Tick clockEdge(Cycles cycles = 0) const;
+
+    /** Charge the request-port occupancy; @return service start tick. */
+    Tick acquireSlot();
+
+    /** Begin a page walk for (@p asid, @p vaddr). */
+    void startWalk(Asid asid, Addr vaddr, bool need_write, Callback cb,
+                   bool after_fault);
+
+    /** Issue the next PTE read of an in-flight walk (or finish it). */
+    void issueNextPte(const std::shared_ptr<void> &state);
+
+    /** Complete a walk: success, fault-and-retry, or failure. */
+    void walkDone(const std::shared_ptr<void> &state);
+
+    /** Deliver a successful translation: TLB fill, BC notify, cb. */
+    void finishTranslation(Asid asid, Addr vaddr,
+                           const WalkResult &result, Tick when,
+                           Callback cb);
+
+    void fail(Callback cb, Tick when);
+
+    Params params_;
+    MemDevice &walkPath_;
+    Kernel *kernel_ = nullptr;
+    BorderControl *borderControl_ = nullptr;
+    Tlb l2Tlb_;
+    Tick slotBusyUntil_ = 0;
+
+    stats::Scalar &translations_;
+    stats::Scalar &walks_;
+    stats::Scalar &faultsServiced_;
+    stats::Scalar &failures_;
+};
+
+} // namespace bctrl
+
+#endif // BCTRL_VM_ATS_HH

@@ -1,0 +1,112 @@
+#include "vm/iommu_frontend.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace bctrl {
+
+IommuFrontend::IommuFrontend(EventQueue &eq, const std::string &name,
+                             const Params &params, Ats &ats,
+                             MemDevice &downstream)
+    : SimObject(eq, name),
+      params_(params),
+      ats_(ats),
+      downstream_(downstream),
+      requests_(statGroup().scalar("requests",
+                                   "requests translated and checked")),
+      denials_(statGroup().scalar("denials",
+                                  "requests denied at the IOMMU")),
+      ownTlbHits_(statGroup().scalar("ownTlbHits",
+                                     "hits in the unit's own TLB"))
+{
+    panic_if(params_.clockPeriod == 0, "IOMMU front-end clock is zero");
+    panic_if(params_.requestsPerCycle == 0,
+             "IOMMU front end must accept at least one request/cycle");
+    if (params_.ownTlb) {
+        ownTlb_ = std::make_unique<Tlb>(eq, name + ".tlb", params_.tlb);
+        statGroup().addChild(&ownTlb_->statGroup());
+    }
+}
+
+Tick
+IommuFrontend::acquireSlot()
+{
+    const Tick slot_time = std::max<Tick>(
+        1, params_.clockPeriod / params_.requestsPerCycle);
+    Tick now = curTick();
+    Tick start = std::max(now, slotBusyUntil_);
+    slotBusyUntil_ = start + slot_time;
+    return start;
+}
+
+void
+IommuFrontend::finish(const PacketPtr &pkt, bool ok,
+                      const TlbEntry &entry)
+{
+    const Perms need{pkt->isRead(), pkt->isWrite()};
+    if (!ok || !entry.perms.covers(need)) {
+        ++denials_;
+        pkt->denied = true;
+        respondAt(eventQueue(), pkt, curTick());
+        if (violationHandler_)
+            violationHandler_(*pkt);
+        return;
+    }
+    const Addr vpn_offset = pageNumber(pkt->vaddr) - entry.vpn;
+    pkt->paddr = ((entry.ppn + vpn_offset) << pageShift) |
+                 pageOffset(pkt->vaddr);
+    pkt->isVirtual = false;
+    downstream_.access(pkt);
+}
+
+void
+IommuFrontend::access(const PacketPtr &pkt)
+{
+    panic_if(!pkt->isVirtual,
+             "IOMMU front end received a pre-translated packet %s",
+             pkt->toString().c_str());
+    ++requests_;
+
+    const Tick start = acquireSlot() + params_.frontLatency;
+
+    PacketPtr held = pkt;
+    eventQueue().scheduleLambda(
+        [this, held]() {
+            if (ownTlb_) {
+                const Addr vpn = pageNumber(held->vaddr);
+                if (auto entry = ownTlb_->lookup(held->asid, vpn)) {
+                    ++ownTlbHits_;
+                    TlbEntry e = *entry;
+                    eventQueue().scheduleLambda(
+                        [this, held, e]() { finish(held, true, e); },
+                        curTick() +
+                            params_.tlbLatency * params_.clockPeriod);
+                    return;
+                }
+            }
+            ats_.translate(held->asid, held->vaddr, held->isWrite(),
+                           [this, held](bool ok, const TlbEntry &entry) {
+                               if (ok && ownTlb_)
+                                   ownTlb_->insert(entry);
+                               finish(held, ok, entry);
+                           });
+        },
+        start);
+}
+
+void
+IommuFrontend::invalidatePage(Asid asid, Addr vpn)
+{
+    if (ownTlb_)
+        ownTlb_->invalidatePage(asid, vpn);
+}
+
+void
+IommuFrontend::invalidateAsid(Asid asid)
+{
+    if (ownTlb_)
+        ownTlb_->invalidateAsid(asid);
+}
+
+} // namespace bctrl

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The IOMMU checking front end: translation at the border.
+ *
+ * Used by two of the evaluated configurations:
+ *  - Full IOMMU: every accelerator memory request arrives here as a
+ *    virtual address, is translated and permission-checked, and only
+ *    then forwarded to memory (downstream = the memory system). The
+ *    accelerator keeps no caches or TLBs.
+ *  - CAPI-like: same per-request translation and check, but downstream
+ *    is a trusted shared L2 cache implemented on the host side of the
+ *    border, reached with extra latency.
+ */
+
+#ifndef BCTRL_VM_IOMMU_FRONTEND_HH
+#define BCTRL_VM_IOMMU_FRONTEND_HH
+
+#include "mem/mem_device.hh"
+#include "sim/sim_object.hh"
+#include "vm/ats.hh"
+
+namespace bctrl {
+
+class IommuFrontend : public SimObject, public MemDevice
+{
+  public:
+    struct Params {
+        /** Extra one-way latency to reach this trusted unit. */
+        Tick frontLatency = 0;
+        /**
+         * Requests accepted per cycle. The full IOMMU is a shared,
+         * single-ported unit; a CAPI-like interface is dedicated
+         * hardware with a wider port.
+         */
+        unsigned requestsPerCycle = 1;
+        /** Clock period used for the port model. */
+        Tick clockPeriod = 1'429;
+        /**
+         * Keep a TLB inside this unit (the CAPI-like design implements
+         * the accelerator's TLB in trusted hardware). When false, all
+         * translations go to the shared ATS, whose port is narrow.
+         */
+        bool ownTlb = false;
+        Tlb::Params tlb{512, 8};
+        /** Own-TLB hit latency, in cycles. */
+        Cycles tlbLatency = 4;
+    };
+
+    IommuFrontend(EventQueue &eq, const std::string &name,
+                  const Params &params, Ats &ats, MemDevice &downstream);
+
+    /**
+     * Accept a virtual-addressed packet from the accelerator,
+     * translate and check it, and forward the now-physical packet.
+     */
+    void access(const PacketPtr &pkt) override;
+
+    /** Register the OS handler for denied accesses. */
+    void setViolationHandler(std::function<void(const Packet &)> handler)
+    {
+        violationHandler_ = std::move(handler);
+    }
+
+    std::uint64_t requests() const
+    {
+        return static_cast<std::uint64_t>(requests_.value());
+    }
+    std::uint64_t denials() const
+    {
+        return static_cast<std::uint64_t>(denials_.value());
+    }
+
+    /** The unit's own TLB (CAPI-like only); null otherwise. */
+    Tlb *ownTlb() { return ownTlb_.get(); }
+
+    /** Shootdown support for the own-TLB variant. */
+    void invalidatePage(Asid asid, Addr vpn);
+    void invalidateAsid(Asid asid);
+
+  private:
+    /** Charge port occupancy; @return the service start tick. */
+    Tick acquireSlot();
+
+    /** Translation resolved: check permissions and forward or deny. */
+    void finish(const PacketPtr &pkt, bool ok, const TlbEntry &entry);
+
+    Params params_;
+    Ats &ats_;
+    MemDevice &downstream_;
+    std::function<void(const Packet &)> violationHandler_;
+    std::unique_ptr<Tlb> ownTlb_;
+    Tick slotBusyUntil_ = 0;
+
+    stats::Scalar &requests_;
+    stats::Scalar &denials_;
+    stats::Scalar &ownTlbHits_;
+};
+
+} // namespace bctrl
+
+#endif // BCTRL_VM_IOMMU_FRONTEND_HH

@@ -1,0 +1,142 @@
+#include "vm/page_table.hh"
+
+#include "sim/logging.hh"
+
+namespace bctrl {
+
+PageTable::PageTable(BackingStore &store, FrameAllocator &alloc)
+    : store_(store), alloc_(alloc)
+{
+    root_ = alloc_.allocFrame();
+    ownedFrames_.push_back(root_);
+}
+
+PageTable::~PageTable()
+{
+    for (Addr frame : ownedFrames_)
+        alloc_.freeFrame(frame);
+}
+
+Addr
+PageTable::pteSlot(Addr vaddr, bool create, unsigned stop_level)
+{
+    Addr table = root_;
+    for (unsigned level = 0;; ++level) {
+        Addr slot = table + 8ULL * indexAt(vaddr, level);
+        if (level == stop_level)
+            return slot;
+        std::uint64_t pte = store_.read64(slot);
+        if (!(pte & pteValid)) {
+            if (!create)
+                return 0;
+            Addr frame = alloc_.allocFrame();
+            ownedFrames_.push_back(frame);
+            store_.write64(slot, (frame & pteAddrMask) | pteValid);
+            table = frame;
+        } else {
+            panic_if(pte & pteLarge,
+                     "walking through a large-page PTE at level %u",
+                     level);
+            table = pte & pteAddrMask;
+        }
+    }
+}
+
+void
+PageTable::map(Addr vaddr, Addr paddr, Perms perms)
+{
+    panic_if(pageOffset(paddr) != 0, "mapping unaligned frame 0x%llx",
+             (unsigned long long)paddr);
+    Addr slot = pteSlot(vaddr, true, levels - 1);
+    std::uint64_t old = store_.read64(slot);
+    if (!(old & pteValid))
+        ++mappedPages_;
+    std::uint64_t pte = (paddr & pteAddrMask) | pteValid;
+    if (perms.read)
+        pte |= pteRead;
+    if (perms.write)
+        pte |= pteWrite;
+    store_.write64(slot, pte);
+}
+
+void
+PageTable::mapLarge(Addr vaddr, Addr paddr, Perms perms)
+{
+    panic_if((vaddr & (largePageSize - 1)) != 0 ||
+                 (paddr & (largePageSize - 1)) != 0,
+             "mapLarge with unaligned addresses");
+    Addr slot = pteSlot(vaddr, true, levels - 2);
+    std::uint64_t old = store_.read64(slot);
+    if (!(old & pteValid))
+        mappedPages_ += pagesPerLargePage;
+    std::uint64_t pte = (paddr & pteAddrMask) | pteValid | pteLarge;
+    if (perms.read)
+        pte |= pteRead;
+    if (perms.write)
+        pte |= pteWrite;
+    store_.write64(slot, pte);
+}
+
+void
+PageTable::unmap(Addr vaddr)
+{
+    Addr slot = pteSlot(vaddr, false, levels - 1);
+    if (slot == 0)
+        return;
+    std::uint64_t pte = store_.read64(slot);
+    if (pte & pteValid)
+        --mappedPages_;
+    store_.write64(slot, 0);
+}
+
+Perms
+PageTable::protect(Addr vaddr, Perms perms)
+{
+    WalkResult before = walk(vaddr);
+    panic_if(!before.valid, "protect() of unmapped vaddr 0x%llx",
+             (unsigned long long)vaddr);
+    unsigned stop = before.largePage ? levels - 2 : levels - 1;
+    Addr slot = pteSlot(vaddr, false, stop);
+    std::uint64_t pte = store_.read64(slot);
+    pte &= ~(pteRead | pteWrite);
+    if (perms.read)
+        pte |= pteRead;
+    if (perms.write)
+        pte |= pteWrite;
+    store_.write64(slot, pte);
+    return before.perms;
+}
+
+WalkResult
+PageTable::walk(Addr vaddr) const
+{
+    WalkResult res;
+    Addr table = root_;
+    for (unsigned level = 0; level < levels; ++level) {
+        Addr slot = table + 8ULL * indexAt(vaddr, level);
+        res.pteAddrs.push_back(slot);
+        std::uint64_t pte = store_.read64(slot);
+        if (!(pte & pteValid))
+            return res;
+        if (level == levels - 1) {
+            res.valid = true;
+            res.paddr = (pte & pteAddrMask) | pageOffset(vaddr);
+            res.perms = Perms{(pte & pteRead) != 0, (pte & pteWrite) != 0};
+            return res;
+        }
+        if (pte & pteLarge) {
+            panic_if(level != levels - 2,
+                     "large-page PTE at unexpected level %u", level);
+            res.valid = true;
+            res.largePage = true;
+            res.paddr =
+                (pte & pteAddrMask) | (vaddr & (largePageSize - 1));
+            res.perms = Perms{(pte & pteRead) != 0, (pte & pteWrite) != 0};
+            return res;
+        }
+        table = pte & pteAddrMask;
+    }
+    return res;
+}
+
+} // namespace bctrl

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * A four-level radix page table resident in simulated physical memory.
+ *
+ * The layout mirrors x86-64: 9 index bits per level over 4 KB pages,
+ * with 2 MB large pages expressible one level up. Because the table
+ * lives in the BackingStore, page walks performed by the ATS cost real
+ * simulated memory accesses, and tests can corrupt or inspect PTEs the
+ * way a buggy agent would see them.
+ */
+
+#ifndef BCTRL_VM_PAGE_TABLE_HH
+#define BCTRL_VM_PAGE_TABLE_HH
+
+#include <vector>
+
+#include "mem/backing_store.hh"
+#include "vm/perms.hh"
+
+namespace bctrl {
+
+/** Allocates 4 KB physical frames for page-table nodes and data pages. */
+class FrameAllocator
+{
+  public:
+    virtual ~FrameAllocator() = default;
+    /** @return the physical address of a zeroed 4 KB frame. */
+    virtual Addr allocFrame() = 0;
+    /** Return a frame to the pool. */
+    virtual void freeFrame(Addr paddr) = 0;
+};
+
+/** Outcome of a page-table walk. */
+struct WalkResult {
+    bool valid = false;
+    Addr paddr = 0;     ///< translated physical address
+    Perms perms;        ///< page permissions
+    bool largePage = false;
+    /** Physical addresses of every PTE read, for timing/traffic. */
+    std::vector<Addr> pteAddrs;
+};
+
+class PageTable
+{
+  public:
+    static constexpr unsigned levels = 4;
+    static constexpr unsigned bitsPerLevel = 9;
+    static constexpr std::uint64_t pteValid = 1ULL << 0;
+    static constexpr std::uint64_t pteRead = 1ULL << 1;
+    static constexpr std::uint64_t pteWrite = 1ULL << 2;
+    static constexpr std::uint64_t pteLarge = 1ULL << 3;
+    static constexpr std::uint64_t pteAddrMask = ~0xfffULL;
+
+    PageTable(BackingStore &store, FrameAllocator &alloc);
+    ~PageTable();
+
+    PageTable(const PageTable &) = delete;
+    PageTable &operator=(const PageTable &) = delete;
+
+    /** Physical address of the root table (what a CR3 would hold). */
+    Addr root() const { return root_; }
+
+    /** Map the 4 KB page containing @p vaddr to frame @p paddr. */
+    void map(Addr vaddr, Addr paddr, Perms perms);
+
+    /** Map a 2 MB large page (both addresses 2 MB aligned). */
+    void mapLarge(Addr vaddr, Addr paddr, Perms perms);
+
+    /** Remove the mapping for the page containing @p vaddr. */
+    void unmap(Addr vaddr);
+
+    /**
+     * Change the permissions of an existing mapping.
+     * @return the previous permissions.
+     */
+    Perms protect(Addr vaddr, Perms perms);
+
+    /** Walk the table for @p vaddr, recording every PTE touched. */
+    WalkResult walk(Addr vaddr) const;
+
+    /** Functional translate; invalid result if unmapped. */
+    WalkResult translate(Addr vaddr) const { return walk(vaddr); }
+
+    /** Number of leaf mappings currently installed. */
+    std::uint64_t mappedPages() const { return mappedPages_; }
+
+  private:
+    static unsigned
+    indexAt(Addr vaddr, unsigned level)
+    {
+        // level 0 is the root; leaf indices come from the lowest 9 bits
+        // group just above the page offset.
+        unsigned shift =
+            pageShift + bitsPerLevel * (levels - 1 - level);
+        return static_cast<unsigned>((vaddr >> shift) & 0x1ff);
+    }
+
+    /**
+     * Find (optionally creating) the leaf PTE slot for @p vaddr.
+     * @param stop_level levels-1 for 4 KB leaves, levels-2 for 2 MB.
+     * @return physical address of the PTE slot, or 0 if absent and
+     *         @p create is false.
+     */
+    Addr pteSlot(Addr vaddr, bool create, unsigned stop_level);
+
+    BackingStore &store_;
+    FrameAllocator &alloc_;
+    Addr root_;
+    std::vector<Addr> ownedFrames_;
+    std::uint64_t mappedPages_ = 0;
+};
+
+} // namespace bctrl
+
+#endif // BCTRL_VM_PAGE_TABLE_HH

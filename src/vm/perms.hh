@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Page access permissions, as stored in process page tables, TLBs, and
+ * Border Control's Protection Table (which keeps exactly these two bits
+ * per physical page — execute permission is deliberately absent, see
+ * paper §3.1.1).
+ */
+
+#ifndef BCTRL_VM_PERMS_HH
+#define BCTRL_VM_PERMS_HH
+
+#include <cstdint>
+
+namespace bctrl {
+
+struct Perms {
+    bool read = false;
+    bool write = false;
+
+    constexpr bool any() const { return read || write; }
+    constexpr bool none() const { return !read && !write; }
+
+    /** True if these permissions include everything @p need needs. */
+    constexpr bool
+    covers(Perms need) const
+    {
+        return (!need.read || read) && (!need.write || write);
+    }
+
+    /** Union of two permission sets (multiprocess accelerators, §3.3). */
+    constexpr Perms
+    operator|(Perms other) const
+    {
+        return Perms{read || other.read, write || other.write};
+    }
+
+    constexpr bool
+    operator==(const Perms &other) const
+    {
+        return read == other.read && write == other.write;
+    }
+
+    /** Pack to the Protection Table's 2-bit encoding (bit0=R, bit1=W). */
+    constexpr std::uint8_t
+    toBits() const
+    {
+        return static_cast<std::uint8_t>((read ? 1 : 0) |
+                                         (write ? 2 : 0));
+    }
+
+    static constexpr Perms
+    fromBits(std::uint8_t bits)
+    {
+        return Perms{(bits & 1) != 0, (bits & 2) != 0};
+    }
+
+    static constexpr Perms readOnly() { return Perms{true, false}; }
+    static constexpr Perms readWrite() { return Perms{true, true}; }
+    static constexpr Perms noAccess() { return Perms{false, false}; }
+};
+
+} // namespace bctrl
+
+#endif // BCTRL_VM_PERMS_HH

@@ -1,0 +1,148 @@
+#include "vm/tlb.hh"
+
+#include "sim/logging.hh"
+
+namespace bctrl {
+
+Tlb::Tlb(EventQueue &eq, const std::string &name, const Params &params)
+    : SimObject(eq, name),
+      params_(params),
+      hits_(statGroup().scalar("hits", "TLB hits")),
+      misses_(statGroup().scalar("misses", "TLB misses")),
+      insertions_(statGroup().scalar("insertions", "TLB fills")),
+      invalidations_(statGroup().scalar("invalidations",
+                                        "entries invalidated"))
+{
+    panic_if(params_.entries == 0, "TLB with zero entries");
+    assoc_ = params_.assoc == 0 ? params_.entries : params_.assoc;
+    panic_if(params_.entries % assoc_ != 0,
+             "TLB entries (%u) not divisible by associativity (%u)",
+             params_.entries, assoc_);
+    numSets_ = params_.entries / assoc_;
+    slots_.resize(params_.entries);
+}
+
+unsigned
+Tlb::setIndex(Addr vpn) const
+{
+    // Large pages are indexed by their base VPN so that a single entry
+    // covers the whole range; lookups for any covered VPN therefore
+    // also probe the large page's home set (see lookup()).
+    return static_cast<unsigned>(vpn % numSets_);
+}
+
+bool
+Tlb::covers(const Slot &slot, Asid asid, Addr vpn)
+{
+    if (!slot.valid || slot.entry.asid != asid)
+        return false;
+    if (!slot.entry.largePage)
+        return slot.entry.vpn == vpn;
+    Addr base = slot.entry.vpn & ~(pagesPerLargePage - 1);
+    return vpn >= base && vpn < base + pagesPerLargePage;
+}
+
+std::optional<TlbEntry>
+Tlb::lookup(Asid asid, Addr vpn)
+{
+    // Probe the natural set, then (for large pages) the set of the
+    // 2 MB-aligned base VPN.
+    const Addr large_base = vpn & ~(pagesPerLargePage - 1);
+    for (Addr probe_vpn : {vpn, large_base}) {
+        unsigned set = setIndex(probe_vpn);
+        for (unsigned way = 0; way < assoc_; ++way) {
+            Slot &slot = slots_[set * assoc_ + way];
+            if (covers(slot, asid, vpn)) {
+                slot.lastUse = ++useCounter_;
+                ++hits_;
+                return slot.entry;
+            }
+        }
+        if (probe_vpn == large_base)
+            break; // both probes identical when vpn is already aligned
+    }
+    ++misses_;
+    return std::nullopt;
+}
+
+std::optional<TlbEntry>
+Tlb::probe(Asid asid, Addr vpn) const
+{
+    const Addr large_base = vpn & ~(pagesPerLargePage - 1);
+    for (Addr probe_vpn : {vpn, large_base}) {
+        unsigned set = setIndex(probe_vpn);
+        for (unsigned way = 0; way < assoc_; ++way) {
+            const Slot &slot = slots_[set * assoc_ + way];
+            if (covers(slot, asid, vpn))
+                return slot.entry;
+        }
+        if (probe_vpn == large_base)
+            break;
+    }
+    return std::nullopt;
+}
+
+void
+Tlb::insert(const TlbEntry &entry)
+{
+    Addr home_vpn = entry.largePage
+                        ? (entry.vpn & ~(pagesPerLargePage - 1))
+                        : entry.vpn;
+    unsigned set = setIndex(home_vpn);
+    Slot *victim = nullptr;
+    for (unsigned way = 0; way < assoc_; ++way) {
+        Slot &slot = slots_[set * assoc_ + way];
+        if (covers(slot, entry.asid, entry.vpn)) {
+            victim = &slot; // refresh in place
+            break;
+        }
+        if (!slot.valid) {
+            if (!victim || victim->valid)
+                victim = &slot;
+        } else if (!victim ||
+                   (victim->valid && slot.lastUse < victim->lastUse)) {
+            victim = &slot;
+        }
+    }
+    victim->valid = true;
+    victim->entry = entry;
+    if (victim->entry.largePage)
+        victim->entry.vpn = home_vpn;
+    victim->lastUse = ++useCounter_;
+    ++insertions_;
+}
+
+void
+Tlb::invalidatePage(Asid asid, Addr vpn)
+{
+    for (Slot &slot : slots_) {
+        if (covers(slot, asid, vpn)) {
+            slot.valid = false;
+            ++invalidations_;
+        }
+    }
+}
+
+void
+Tlb::invalidateAsid(Asid asid)
+{
+    for (Slot &slot : slots_) {
+        if (slot.valid && slot.entry.asid == asid) {
+            slot.valid = false;
+            ++invalidations_;
+        }
+    }
+}
+
+void
+Tlb::invalidateAll()
+{
+    for (Slot &slot : slots_) {
+        if (slot.valid) {
+            slot.valid = false;
+            ++invalidations_;
+        }
+    }
+}
+
+} // namespace bctrl

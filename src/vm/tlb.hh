@@ -1,0 +1,102 @@
+/**
+ * @file
+ * A set-associative, ASID-tagged TLB with LRU replacement.
+ *
+ * Used for the accelerator's per-CU L1 TLBs and the trusted shared L2
+ * TLB inside the ATS/IOMMU. Supports the shootdown operations the OS
+ * model needs: single-page invalidation, per-ASID flush, and full
+ * flush. Large (2 MB) pages occupy one entry and match any 4 KB page
+ * they cover.
+ */
+
+#ifndef BCTRL_VM_TLB_HH
+#define BCTRL_VM_TLB_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "mem/addr.hh"
+#include "sim/sim_object.hh"
+#include "vm/perms.hh"
+
+namespace bctrl {
+
+struct TlbEntry {
+    Asid asid = 0;
+    Addr vpn = 0;  ///< virtual page number (4 KB granularity)
+    Addr ppn = 0;  ///< physical page number
+    Perms perms;
+    bool largePage = false;
+};
+
+class Tlb : public SimObject
+{
+  public:
+    struct Params {
+        unsigned entries = 64;
+        unsigned assoc = 0; ///< 0 means fully associative
+    };
+
+    Tlb(EventQueue &eq, const std::string &name, const Params &params);
+
+    /**
+     * Look up the translation for @p vpn in address space @p asid.
+     * Updates LRU and hit/miss statistics.
+     */
+    std::optional<TlbEntry> lookup(Asid asid, Addr vpn);
+
+    /** Probe without touching LRU or statistics (for tests). */
+    std::optional<TlbEntry> probe(Asid asid, Addr vpn) const;
+
+    /** Insert a translation, evicting the set's LRU entry if needed. */
+    void insert(const TlbEntry &entry);
+
+    /** Invalidate the entry covering (@p asid, @p vpn), if present. */
+    void invalidatePage(Asid asid, Addr vpn);
+
+    /** Invalidate every entry belonging to @p asid. */
+    void invalidateAsid(Asid asid);
+
+    /** Invalidate everything. */
+    void invalidateAll();
+
+    unsigned numEntries() const { return params_.entries; }
+
+    std::uint64_t hits() const
+    {
+        return static_cast<std::uint64_t>(hits_.value());
+    }
+    std::uint64_t misses() const
+    {
+        return static_cast<std::uint64_t>(misses_.value());
+    }
+
+  private:
+    struct Slot {
+        bool valid = false;
+        TlbEntry entry;
+        std::uint64_t lastUse = 0;
+    };
+
+    /** Index of the set @p vpn maps to. */
+    unsigned setIndex(Addr vpn) const;
+
+    /** True if @p slot covers (@p asid, @p vpn). */
+    static bool covers(const Slot &slot, Asid asid, Addr vpn);
+
+    Params params_;
+    unsigned numSets_;
+    unsigned assoc_;
+    std::vector<Slot> slots_;
+    std::uint64_t useCounter_ = 0;
+
+    stats::Scalar &hits_;
+    stats::Scalar &misses_;
+    stats::Scalar &insertions_;
+    stats::Scalar &invalidations_;
+};
+
+} // namespace bctrl
+
+#endif // BCTRL_VM_TLB_HH

@@ -1,0 +1,96 @@
+#include "workloads/rodinia.hh"
+
+#include "os/process.hh"
+#include "sim/logging.hh"
+
+namespace bctrl {
+
+namespace {
+constexpr std::uint64_t hiddenGroup = 16; ///< hidden units per work unit
+constexpr unsigned accessBytes = 64;
+/**
+ * Instructions per streamed weight line: 16 MACs plus index/loop
+ * overhead. Backprop is MAC-dominated, which is why it shows the
+ * lowest border request rate of the suite (Fig. 5).
+ */
+constexpr Cycles macBurst = 150;
+} // namespace
+
+BackpropWorkload::BackpropWorkload(std::uint64_t scale,
+                                   std::uint64_t seed)
+    : inputCount_(4096 * scale), hiddenCount_(64), chunk_(128)
+{
+    (void)seed;
+}
+
+void
+BackpropWorkload::setup(Process &proc)
+{
+    // Input activations: read-only to the kernel, hot in the L1.
+    inputBase_ = proc.mmap(inputCount_ * 4, Perms::readOnly());
+    // Weight matrix, streamed once per pass per hidden group.
+    weightBase_ =
+        proc.mmap(inputCount_ * hiddenCount_ * 4, Perms::readOnly());
+    deltaBase_ =
+        proc.mmap(inputCount_ * hiddenCount_ * 4, Perms::readWrite());
+    hiddenBase_ = proc.mmap(hiddenCount_ * 8, Perms::readWrite());
+}
+
+std::uint64_t
+BackpropWorkload::numUnits() const
+{
+    // (input chunk, hidden group) pairs, for two passes (fwd + bwd).
+    return 2 * (inputCount_ / chunk_) * (hiddenCount_ / hiddenGroup);
+}
+
+std::uint64_t
+BackpropWorkload::memItemsPerUnit() const
+{
+    const std::uint64_t weight_reads =
+        chunk_ * hiddenGroup * 4 / accessBytes;
+    // Each weight line is paired with a (hot) input re-read; the
+    // backward pass adds delta writes on half the units.
+    return 2 * weight_reads + weight_reads / 2 + 1;
+}
+
+void
+BackpropWorkload::expand(std::uint64_t unit, std::vector<WorkItem> &out)
+{
+    const std::uint64_t units_per_pass = numUnits() / 2;
+    const bool backward = unit >= units_per_pass;
+    const std::uint64_t u = unit % units_per_pass;
+    const std::uint64_t groups = hiddenCount_ / hiddenGroup;
+    const std::uint64_t group = u % groups;
+    const std::uint64_t chunk_idx = u / groups;
+    const Addr in_off = chunk_idx * chunk_ * 4;
+    const Addr in_bytes = chunk_ * 4;
+
+    // Weights laid out group-major: each hidden group's slice of the
+    // matrix is contiguous, streamed chunk by chunk.
+    const Addr w_off =
+        (group * inputCount_ + chunk_idx * chunk_) * hiddenGroup * 4;
+    const Addr slice = chunk_ * hiddenGroup * 4;
+
+    unsigned in_cursor = 0;
+    for (Addr b = 0; b < slice; b += accessBytes) {
+        // Re-read the input activations (hot: the chunk fits in L1).
+        out.push_back(WorkItem::mem(
+            inputBase_ + in_off + (in_cursor % in_bytes), false,
+            accessBytes));
+        in_cursor += accessBytes;
+        // Stream the next line of weights and burn MACs on it.
+        out.push_back(WorkItem::mem(weightBase_ + w_off + b, false,
+                                    accessBytes));
+        out.push_back(WorkItem::compute(macBurst));
+        if (backward && (b / accessBytes) % 2 == 0) {
+            out.push_back(WorkItem::mem(deltaBase_ + w_off + b, true,
+                                        accessBytes));
+        }
+    }
+    // Accumulate the partial sums for this hidden group.
+    out.push_back(WorkItem::compute(6));
+    out.push_back(
+        WorkItem::mem(hiddenBase_ + group * hiddenGroup * 8, true, 32));
+}
+
+} // namespace bctrl

@@ -1,0 +1,86 @@
+#include "workloads/rodinia.hh"
+
+#include <algorithm>
+
+#include "os/process.hh"
+
+namespace bctrl {
+
+BfsWorkload::BfsWorkload(std::uint64_t scale, std::uint64_t seed)
+    : numNodes_(16384 * scale),
+      nodesPerUnit_(32),
+      degree_(4),
+      seed_(seed)
+{
+}
+
+void
+BfsWorkload::setup(Process &proc)
+{
+    // Graph structure is read-only; visitation state is read-write.
+    frontierBase_ = proc.mmap(numNodes_ * 4, Perms::readOnly());
+    rowOffsetBase_ = proc.mmap((numNodes_ + 1) * 4, Perms::readOnly());
+    edgeBase_ = proc.mmap(numNodes_ * degree_ * 4, Perms::readOnly());
+    visitedBase_ = proc.mmap(numNodes_, Perms::readWrite());
+    costBase_ = proc.mmap(numNodes_ * 4, Perms::readWrite());
+}
+
+std::uint64_t
+BfsWorkload::numUnits() const
+{
+    return numNodes_ / nodesPerUnit_;
+}
+
+std::uint64_t
+BfsWorkload::memItemsPerUnit() const
+{
+    // frontier + (row offset + edge list) per node + (visited + ~30%
+    // cost write) per edge.
+    return 2 + nodesPerUnit_ * 2 +
+           nodesPerUnit_ * degree_ + nodesPerUnit_ * degree_ * 3 / 10;
+}
+
+void
+BfsWorkload::expand(std::uint64_t unit, std::vector<WorkItem> &out)
+{
+    Random rng(seed_ * 0x9e3779b9 + unit);
+
+    // Sequential read of this unit's slice of the frontier queue.
+    const Addr frontier_off = unit * nodesPerUnit_ * 4;
+    out.push_back(
+        WorkItem::mem(frontierBase_ + frontier_off, false, 64));
+    out.push_back(
+        WorkItem::mem(frontierBase_ + frontier_off + 64, false, 64));
+
+    // Clamp 64 B accesses so they never run past an array's end.
+    auto clamp = [](Addr base, Addr offset, Addr array_bytes) {
+        return base + std::min<Addr>(offset, array_bytes - 64);
+    };
+
+    for (std::uint64_t i = 0; i < nodesPerUnit_; ++i) {
+        // The frontier holds effectively random node ids: the row
+        // offset and edge-list reads scatter across the graph.
+        const std::uint64_t node = rng.nextBounded(numNodes_);
+        out.push_back(WorkItem::mem(
+            clamp(rowOffsetBase_, node * 4, (numNodes_ + 1) * 4),
+            false, 64));
+        out.push_back(WorkItem::mem(
+            clamp(edgeBase_, node * degree_ * 4,
+                  numNodes_ * degree_ * 4),
+            false, 64));
+        for (unsigned e = 0; e < degree_; ++e) {
+            const std::uint64_t neighbor = rng.nextBounded(numNodes_);
+            out.push_back(WorkItem::mem(
+                clamp(visitedBase_, neighbor, numNodes_), false, 64));
+            out.push_back(WorkItem::compute(2));
+            if (rng.nextBool(0.3)) {
+                out.push_back(WorkItem::mem(
+                    clamp(costBase_, neighbor * 4, numNodes_ * 4),
+                    true, 64));
+            }
+        }
+        out.push_back(WorkItem::compute(2));
+    }
+}
+
+} // namespace bctrl

@@ -1,0 +1,206 @@
+#include "workloads/extra.hh"
+
+#include <algorithm>
+
+#include "os/process.hh"
+
+namespace bctrl {
+
+// ---------------------------------------------------------------- kmeans
+
+KmeansWorkload::KmeansWorkload(std::uint64_t scale, std::uint64_t seed)
+    : numPoints_(32768 * scale),
+      pointsPerUnit_(32),
+      features_(16),
+      clusters_(8),
+      iterations_(4)
+{
+    (void)seed;
+}
+
+void
+KmeansWorkload::setup(Process &proc)
+{
+    // Feature matrix is read-only to the kernel; memberships are
+    // written; the (tiny, hot) centroid table is read each point.
+    featureBase_ =
+        proc.mmap(numPoints_ * features_ * 4, Perms::readOnly());
+    centroidBase_ =
+        proc.mmap(clusters_ * features_ * 4, Perms::readOnly());
+    membershipBase_ = proc.mmap(numPoints_ * 4, Perms::readWrite());
+}
+
+std::uint64_t
+KmeansWorkload::numUnits() const
+{
+    return iterations_ * (numPoints_ / pointsPerUnit_);
+}
+
+std::uint64_t
+KmeansWorkload::memItemsPerUnit() const
+{
+    const std::uint64_t point_reads =
+        pointsPerUnit_ * features_ * 4 / 64;
+    return point_reads + pointsPerUnit_ /* centroid re-reads */ +
+           pointsPerUnit_ * 4 / 64 + 1 /* membership writes */;
+}
+
+void
+KmeansWorkload::expand(std::uint64_t unit, std::vector<WorkItem> &out)
+{
+    const std::uint64_t slice = unit % (numPoints_ / pointsPerUnit_);
+    const Addr point_bytes = features_ * 4;
+    const Addr base = featureBase_ + slice * pointsPerUnit_ * point_bytes;
+    for (std::uint64_t p = 0; p < pointsPerUnit_; ++p) {
+        // Stream the point's features...
+        for (Addr b = 0; b < point_bytes; b += 64)
+            out.push_back(
+                WorkItem::mem(base + p * point_bytes + b, false, 64));
+        // ...re-read the (L1-hot) centroid table and compute distances.
+        out.push_back(WorkItem::mem(
+            centroidBase_ + (p % clusters_) * point_bytes, false, 64));
+        out.push_back(WorkItem::compute(24)); // 8 clusters x distances
+    }
+    // Write the memberships for the whole slice.
+    const Addr member_off = slice * pointsPerUnit_ * 4;
+    for (Addr b = 0; b < pointsPerUnit_ * 4; b += 64)
+        out.push_back(
+            WorkItem::mem(membershipBase_ + member_off + b, true, 64));
+}
+
+// ------------------------------------------------------------------ srad
+
+SradWorkload::SradWorkload(std::uint64_t scale, std::uint64_t seed)
+    : rows_(96 * scale), cols_(256), segment_(256), iterations_(6)
+{
+    (void)seed;
+}
+
+void
+SradWorkload::setup(Process &proc)
+{
+    imageBase_ = proc.mmap(rows_ * cols_ * 4, Perms::readWrite());
+    derivBase_ = proc.mmap(4 * rows_ * cols_ * 4, Perms::readWrite());
+    coeffBase_ = proc.mmap(rows_ * cols_ * 4, Perms::readWrite());
+}
+
+std::uint64_t
+SradWorkload::numUnits() const
+{
+    // Two sweeps (derivatives+coefficient, then update) per iteration.
+    return 2 * iterations_ * rows_ * (cols_ / segment_);
+}
+
+std::uint64_t
+SradWorkload::memItemsPerUnit() const
+{
+    const std::uint64_t seg = segment_ * 4 / 64;
+    return 5 * seg; // worst of the two sweeps
+}
+
+void
+SradWorkload::expand(std::uint64_t unit, std::vector<WorkItem> &out)
+{
+    const std::uint64_t segs_per_row = cols_ / segment_;
+    const std::uint64_t sweep_units = rows_ * segs_per_row;
+    const bool second_sweep = (unit / sweep_units) % 2 == 1;
+    const std::uint64_t u = unit % sweep_units;
+    const std::uint64_t row = u / segs_per_row;
+    const Addr seg_bytes = segment_ * 4;
+    const Addr row_bytes = cols_ * 4;
+    const Addr off =
+        row * row_bytes + (u % segs_per_row) * seg_bytes;
+    const Addr above = row == 0 ? off : off - row_bytes;
+    const Addr below = row == rows_ - 1 ? off : off + row_bytes;
+    const Addr plane = rows_ * cols_ * 4;
+
+    if (!second_sweep) {
+        // Sweep 1: read the image stencil, write four derivative
+        // planes and the diffusion coefficient.
+        for (Addr b = 0; b < seg_bytes; b += 64) {
+            out.push_back(WorkItem::mem(imageBase_ + off + b, false, 64));
+            out.push_back(
+                WorkItem::mem(imageBase_ + above + b, false, 64));
+            out.push_back(
+                WorkItem::mem(imageBase_ + below + b, false, 64));
+            out.push_back(WorkItem::compute(10));
+            out.push_back(
+                WorkItem::mem(derivBase_ + off + b, true, 64));
+            out.push_back(WorkItem::mem(
+                derivBase_ + plane + off + b, true, 64));
+            out.push_back(
+                WorkItem::mem(coeffBase_ + off + b, true, 64));
+        }
+    } else {
+        // Sweep 2: read derivatives + neighbouring coefficients,
+        // update the image in place.
+        for (Addr b = 0; b < seg_bytes; b += 64) {
+            out.push_back(
+                WorkItem::mem(derivBase_ + off + b, false, 64));
+            out.push_back(
+                WorkItem::mem(coeffBase_ + off + b, false, 64));
+            out.push_back(
+                WorkItem::mem(coeffBase_ + below + b, false, 64));
+            out.push_back(WorkItem::compute(8));
+            out.push_back(
+                WorkItem::mem(imageBase_ + off + b, true, 64));
+        }
+    }
+}
+
+// -------------------------------------------------------------- gaussian
+
+GaussianWorkload::GaussianWorkload(std::uint64_t scale,
+                                   std::uint64_t seed)
+    : dim_(512 * scale)
+{
+    (void)seed;
+}
+
+void
+GaussianWorkload::setup(Process &proc)
+{
+    matrixBase_ = proc.mmap(dim_ * dim_ * 4, Perms::readWrite());
+    vectorBase_ = proc.mmap(dim_ * 4, Perms::readWrite());
+}
+
+std::uint64_t
+GaussianWorkload::numUnits() const
+{
+    // One unit per (pivot step, updated row); triangular, folded to a
+    // fixed-size grid by sampling every fourth pivot.
+    return (dim_ / 4) * 16;
+}
+
+std::uint64_t
+GaussianWorkload::memItemsPerUnit() const
+{
+    return 3 * (dim_ / 2) * 4 / 64 + 2;
+}
+
+void
+GaussianWorkload::expand(std::uint64_t unit, std::vector<WorkItem> &out)
+{
+    const std::uint64_t pivot = (unit / 16) * 4;
+    const std::uint64_t target =
+        (pivot + 1 + (unit % 16)) % dim_;
+    const Addr row_bytes = dim_ * 4;
+    // Active columns shrink as elimination proceeds.
+    const Addr active = std::max<Addr>(64, row_bytes - pivot * 4) &
+                        ~Addr(63);
+    const Addr pivot_row = matrixBase_ + pivot * row_bytes;
+    const Addr target_row = matrixBase_ + target * row_bytes;
+
+    // The pivot row is re-read by all 16 sibling units: L2-hot.
+    for (Addr b = 0; b < active; b += 64) {
+        out.push_back(WorkItem::mem(pivot_row + b, false, 64));
+        out.push_back(WorkItem::mem(target_row + b, false, 64));
+        out.push_back(WorkItem::compute(6));
+        out.push_back(WorkItem::mem(target_row + b, true, 64));
+    }
+    out.push_back(
+        WorkItem::mem(vectorBase_ + (target * 4 & ~Addr(63)), true,
+                      64));
+}
+
+} // namespace bctrl

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Additional Rodinia-family workloads beyond the seven the paper
+ * evaluates, for broader coverage of accelerator behaviours:
+ *
+ *  - kmeans: clustering — streams a feature matrix against a hot
+ *    centroid table (gather + reduction, membership writes);
+ *  - srad: speckle-reducing anisotropic diffusion — two dependent
+ *    stencil sweeps per iteration with derivative temporaries;
+ *  - gaussian: Gaussian elimination — shrinking row updates against a
+ *    hot pivot row.
+ *
+ * They share the TiledWorkload machinery and the validity guarantees
+ * the test suite enforces for every generator.
+ */
+
+#ifndef BCTRL_WORKLOADS_EXTRA_HH
+#define BCTRL_WORKLOADS_EXTRA_HH
+
+#include "workloads/workload.hh"
+
+namespace bctrl {
+
+class KmeansWorkload : public TiledWorkload
+{
+  public:
+    KmeansWorkload(std::uint64_t scale, std::uint64_t seed);
+
+    std::string name() const override { return "kmeans"; }
+    void setup(Process &proc) override;
+
+  protected:
+    std::uint64_t numUnits() const override;
+    void expand(std::uint64_t unit, std::vector<WorkItem> &out) override;
+    std::uint64_t memItemsPerUnit() const override;
+
+  private:
+    std::uint64_t numPoints_;
+    std::uint64_t pointsPerUnit_;
+    unsigned features_;   ///< floats per point
+    unsigned clusters_;
+    unsigned iterations_;
+    Addr featureBase_ = 0;
+    Addr centroidBase_ = 0;
+    Addr membershipBase_ = 0;
+};
+
+class SradWorkload : public TiledWorkload
+{
+  public:
+    SradWorkload(std::uint64_t scale, std::uint64_t seed);
+
+    std::string name() const override { return "srad"; }
+    void setup(Process &proc) override;
+
+  protected:
+    std::uint64_t numUnits() const override;
+    void expand(std::uint64_t unit, std::vector<WorkItem> &out) override;
+    std::uint64_t memItemsPerUnit() const override;
+
+  private:
+    std::uint64_t rows_;
+    std::uint64_t cols_;
+    std::uint64_t segment_;
+    unsigned iterations_;
+    Addr imageBase_ = 0;
+    Addr derivBase_ = 0;  ///< N/S/E/W derivative planes
+    Addr coeffBase_ = 0;
+};
+
+class GaussianWorkload : public TiledWorkload
+{
+  public:
+    GaussianWorkload(std::uint64_t scale, std::uint64_t seed);
+
+    std::string name() const override { return "gaussian"; }
+    void setup(Process &proc) override;
+
+  protected:
+    std::uint64_t numUnits() const override;
+    void expand(std::uint64_t unit, std::vector<WorkItem> &out) override;
+    std::uint64_t memItemsPerUnit() const override;
+
+  private:
+    std::uint64_t dim_;
+    Addr matrixBase_ = 0;
+    Addr vectorBase_ = 0;
+};
+
+} // namespace bctrl
+
+#endif // BCTRL_WORKLOADS_EXTRA_HH

@@ -1,0 +1,69 @@
+#include "workloads/rodinia.hh"
+
+#include "os/process.hh"
+
+namespace bctrl {
+
+HotspotWorkload::HotspotWorkload(std::uint64_t scale, std::uint64_t seed)
+    : rows_(96 * scale), cols_(256), segment_(256), iterations_(16)
+{
+    (void)seed;
+}
+
+void
+HotspotWorkload::setup(Process &proc)
+{
+    tempBase_ = proc.mmap(rows_ * cols_ * 4, Perms::readOnly());
+    powerBase_ = proc.mmap(rows_ * cols_ * 4, Perms::readOnly());
+    outBase_ = proc.mmap(rows_ * cols_ * 4, Perms::readWrite());
+}
+
+std::uint64_t
+HotspotWorkload::numUnits() const
+{
+    return iterations_ * rows_ * (cols_ / segment_);
+}
+
+std::uint64_t
+HotspotWorkload::memItemsPerUnit() const
+{
+    const std::uint64_t seg_accesses = segment_ * 4 / 64;
+    return 4 * seg_accesses /* row, above, below, power */ +
+           seg_accesses /* output write */;
+}
+
+void
+HotspotWorkload::expand(std::uint64_t unit, std::vector<WorkItem> &out)
+{
+    const std::uint64_t segs_per_row = cols_ / segment_;
+    const std::uint64_t u = unit % (rows_ * segs_per_row);
+    const std::uint64_t row = u / segs_per_row;
+    const std::uint64_t seg = u % segs_per_row;
+
+    const Addr seg_bytes = segment_ * 4;
+    const Addr row_bytes = cols_ * 4;
+    const Addr off = row * row_bytes + seg * seg_bytes;
+    const Addr above = row == 0 ? off : off - row_bytes;
+    const Addr below = row == rows_ - 1 ? off : off + row_bytes;
+
+    unsigned since = 0;
+    auto read_seg = [&](Addr base, Addr o) {
+        for (Addr b = 0; b < seg_bytes; b += 64) {
+            out.push_back(WorkItem::mem(base + o + b, false, 64));
+            if (++since == 2) {
+                out.push_back(WorkItem::compute(6));
+                since = 0;
+            }
+        }
+    };
+    // Five-point stencil: centre row, the row above, the row below,
+    // and the power grid; then write the output segment.
+    read_seg(tempBase_, off);
+    read_seg(tempBase_, above);
+    read_seg(tempBase_, below);
+    read_seg(powerBase_, off);
+    for (Addr b = 0; b < seg_bytes; b += 64)
+        out.push_back(WorkItem::mem(outBase_ + off + b, true, 64));
+}
+
+} // namespace bctrl

@@ -1,0 +1,76 @@
+#include "workloads/rodinia.hh"
+
+#include "os/process.hh"
+
+namespace bctrl {
+
+namespace {
+/** Passes of tile operations over the matrix (panel updates). */
+constexpr std::uint64_t numSweeps = 8;
+} // namespace
+
+LudWorkload::LudWorkload(std::uint64_t scale, std::uint64_t seed)
+    : dim_(256 * scale), tile_(32), tileReuse_(8)
+{
+    (void)seed;
+}
+
+void
+LudWorkload::setup(Process &proc)
+{
+    // The matrix is factored in place.
+    matrixBase_ = proc.mmap(dim_ * dim_ * 4, Perms::readWrite());
+}
+
+std::uint64_t
+LudWorkload::numUnits() const
+{
+    // The factorization makes numSweeps passes of tile operations over
+    // the (cache-resident) matrix.
+    const std::uint64_t tiles = (dim_ / tile_) * (dim_ / tile_);
+    return tiles * numSweeps;
+}
+
+std::uint64_t
+LudWorkload::memItemsPerUnit() const
+{
+    const std::uint64_t tile_accesses = tile_ * tile_ * 4 / 64;
+    return tile_accesses * (tileReuse_ + 1) /* reads + diag read */ +
+           tile_accesses /* write back */;
+}
+
+void
+LudWorkload::expand(std::uint64_t unit, std::vector<WorkItem> &out)
+{
+    const std::uint64_t tiles_per_row = dim_ / tile_;
+    const std::uint64_t tiles = tiles_per_row * tiles_per_row;
+    const std::uint64_t tile_idx = unit % tiles;
+    const Addr tile_bytes = tile_ * tile_ * 4;
+    // Tiles stored contiguously (the blocked layout LUD kernels use).
+    const Addr my_tile = matrixBase_ + tile_idx * tile_bytes;
+    // The pivot tile for this tile's row: re-read by every unit in the
+    // row, so it stays hot in the shared L2.
+    const Addr diag_tile =
+        matrixBase_ +
+        (((tile_idx / tiles_per_row) * (tiles_per_row + 1)) % tiles) *
+            tile_bytes;
+
+    // Read the pivot tile once.
+    for (Addr b = 0; b < tile_bytes; b += 64)
+        out.push_back(WorkItem::mem(diag_tile + b, false, 64));
+
+    // The inner GEMM re-reads the tile several times; the tile (4 KB)
+    // fits in the 16 KB L1, so the re-reads hit.
+    for (unsigned pass = 0; pass < tileReuse_; ++pass) {
+        for (Addr b = 0; b < tile_bytes; b += 64) {
+            out.push_back(WorkItem::mem(my_tile + b, false, 64));
+            out.push_back(WorkItem::compute(2));
+        }
+    }
+
+    // Write the updated tile.
+    for (Addr b = 0; b < tile_bytes; b += 64)
+        out.push_back(WorkItem::mem(my_tile + b, true, 64));
+}
+
+} // namespace bctrl

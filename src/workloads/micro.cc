@@ -1,0 +1,160 @@
+#include "workloads/micro.hh"
+
+#include "os/process.hh"
+#include "sim/logging.hh"
+
+namespace bctrl {
+
+UniformRandomWorkload::UniformRandomWorkload(std::uint64_t scale,
+                                             std::uint64_t seed)
+    : footprint_(4 * 1024 * 1024 * scale),
+      totalOps_(65536 * scale),
+      writeFraction_(0.3),
+      seed_(seed)
+{
+}
+
+void
+UniformRandomWorkload::configure(Addr footprint_bytes,
+                                 std::uint64_t total_ops,
+                                 double write_fraction)
+{
+    footprint_ = footprint_bytes;
+    totalOps_ = total_ops;
+    writeFraction_ = write_fraction;
+}
+
+void
+UniformRandomWorkload::setup(Process &proc)
+{
+    base_ = proc.mmap(footprint_, Perms::readWrite(), false,
+                      largePages_);
+}
+
+std::uint64_t
+UniformRandomWorkload::numUnits() const
+{
+    return (totalOps_ + opsPerUnit_ - 1) / opsPerUnit_;
+}
+
+std::uint64_t
+UniformRandomWorkload::memItemsPerUnit() const
+{
+    return opsPerUnit_;
+}
+
+void
+UniformRandomWorkload::expand(std::uint64_t unit,
+                              std::vector<WorkItem> &out)
+{
+    Random rng(seed_ * 0x2545f491 + unit);
+    for (std::uint64_t i = 0; i < opsPerUnit_; ++i) {
+        Addr addr = base_ + (rng.nextBounded(footprint_ / 64)) * 64;
+        out.push_back(
+            WorkItem::mem(addr, rng.nextBool(writeFraction_), 64));
+    }
+}
+
+StreamWorkload::StreamWorkload(std::uint64_t scale, std::uint64_t seed)
+    : footprint_(8 * 1024 * 1024 * scale),
+      passes_(2),
+      writeFraction_(0.25),
+      seed_(seed)
+{
+}
+
+void
+StreamWorkload::configure(Addr footprint_bytes, unsigned passes,
+                          double write_fraction)
+{
+    footprint_ = footprint_bytes;
+    passes_ = passes;
+    writeFraction_ = write_fraction;
+}
+
+void
+StreamWorkload::useRegion(Addr base, Addr bytes)
+{
+    base_ = base;
+    footprint_ = bytes;
+    externalRegion_ = true;
+}
+
+void
+StreamWorkload::setup(Process &proc)
+{
+    if (!externalRegion_)
+        base_ = proc.mmap(footprint_, Perms::readWrite());
+}
+
+std::uint64_t
+StreamWorkload::numUnits() const
+{
+    return passes_ * (footprint_ / bytesPerUnit_);
+}
+
+std::uint64_t
+StreamWorkload::memItemsPerUnit() const
+{
+    return bytesPerUnit_ / 64;
+}
+
+void
+StreamWorkload::expand(std::uint64_t unit, std::vector<WorkItem> &out)
+{
+    Random rng(seed_ + unit);
+    const Addr off = (unit % (footprint_ / bytesPerUnit_)) *
+                     bytesPerUnit_;
+    for (Addr b = 0; b < bytesPerUnit_; b += 64) {
+        out.push_back(WorkItem::mem(base_ + off + b,
+                                    rng.nextBool(writeFraction_), 64));
+    }
+}
+
+StridedWorkload::StridedWorkload(std::uint64_t scale, std::uint64_t seed)
+    : footprint_(16 * 1024 * 1024 * scale),
+      stride_(pageSize),
+      totalOps_(32768 * scale)
+{
+    (void)seed;
+}
+
+void
+StridedWorkload::configure(Addr footprint_bytes, Addr stride,
+                           std::uint64_t total_ops)
+{
+    footprint_ = footprint_bytes;
+    stride_ = stride;
+    totalOps_ = total_ops;
+}
+
+void
+StridedWorkload::setup(Process &proc)
+{
+    base_ = proc.mmap(footprint_, Perms::readWrite());
+}
+
+std::uint64_t
+StridedWorkload::numUnits() const
+{
+    return (totalOps_ + opsPerUnit_ - 1) / opsPerUnit_;
+}
+
+std::uint64_t
+StridedWorkload::memItemsPerUnit() const
+{
+    return opsPerUnit_;
+}
+
+void
+StridedWorkload::expand(std::uint64_t unit, std::vector<WorkItem> &out)
+{
+    const std::uint64_t strides = footprint_ / stride_;
+    std::uint64_t index = unit * opsPerUnit_;
+    for (std::uint64_t i = 0; i < opsPerUnit_; ++i, ++index) {
+        Addr addr = base_ + (index % strides) * stride_;
+        out.push_back(WorkItem::mem(addr, false, 64));
+    }
+}
+
+} // namespace bctrl

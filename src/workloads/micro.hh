@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Microworkloads for unit tests, sensitivity sweeps, and the
+ * google-benchmark suite: uniform-random, streaming, and strided
+ * access patterns with configurable footprint and read/write mix.
+ */
+
+#ifndef BCTRL_WORKLOADS_MICRO_HH
+#define BCTRL_WORKLOADS_MICRO_HH
+
+#include "mem/addr.hh"
+#include "workloads/workload.hh"
+
+namespace bctrl {
+
+/** Uniform-random accesses over a configurable footprint. */
+class UniformRandomWorkload : public TiledWorkload
+{
+  public:
+    UniformRandomWorkload(std::uint64_t scale, std::uint64_t seed);
+
+    /** Override the defaults before setup(). */
+    void configure(Addr footprint_bytes, std::uint64_t total_ops,
+                   double write_fraction);
+
+    /** Back the footprint with 2 MB large pages (paper §3.4.4). */
+    void useLargePages() { largePages_ = true; }
+
+    std::string name() const override { return "uniform"; }
+    void setup(Process &proc) override;
+
+  protected:
+    std::uint64_t numUnits() const override;
+    void expand(std::uint64_t unit, std::vector<WorkItem> &out) override;
+    std::uint64_t memItemsPerUnit() const override;
+
+  private:
+    Addr footprint_;
+    std::uint64_t totalOps_;
+    double writeFraction_;
+    std::uint64_t opsPerUnit_ = 64;
+    std::uint64_t seed_;
+    bool largePages_ = false;
+    Addr base_ = 0;
+};
+
+/** Sequential streaming passes over a buffer. */
+class StreamWorkload : public TiledWorkload
+{
+  public:
+    StreamWorkload(std::uint64_t scale, std::uint64_t seed);
+
+    void configure(Addr footprint_bytes, unsigned passes,
+                   double write_fraction);
+
+    /**
+     * Stream over an already-mapped region of the process instead of
+     * allocating a fresh buffer in setup() (shared-virtual-memory
+     * pipelines where another engine produced the data).
+     */
+    void useRegion(Addr base, Addr bytes);
+
+    std::string name() const override { return "stream"; }
+    void setup(Process &proc) override;
+
+  protected:
+    std::uint64_t numUnits() const override;
+    void expand(std::uint64_t unit, std::vector<WorkItem> &out) override;
+    std::uint64_t memItemsPerUnit() const override;
+
+  private:
+    Addr footprint_;
+    unsigned passes_;
+    double writeFraction_;
+    std::uint64_t bytesPerUnit_ = 4096;
+    std::uint64_t seed_;
+    Addr base_ = 0;
+    bool externalRegion_ = false;
+};
+
+/** Fixed-stride accesses (one touch per cache block or per page). */
+class StridedWorkload : public TiledWorkload
+{
+  public:
+    StridedWorkload(std::uint64_t scale, std::uint64_t seed);
+
+    void configure(Addr footprint_bytes, Addr stride,
+                   std::uint64_t total_ops);
+
+    std::string name() const override { return "strided"; }
+    void setup(Process &proc) override;
+
+  protected:
+    std::uint64_t numUnits() const override;
+    void expand(std::uint64_t unit, std::vector<WorkItem> &out) override;
+    std::uint64_t memItemsPerUnit() const override;
+
+  private:
+    Addr footprint_;
+    Addr stride_;
+    std::uint64_t totalOps_;
+    std::uint64_t opsPerUnit_ = 64;
+    Addr base_ = 0;
+};
+
+} // namespace bctrl
+
+#endif // BCTRL_WORKLOADS_MICRO_HH

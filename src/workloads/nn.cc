@@ -1,0 +1,54 @@
+#include "workloads/rodinia.hh"
+
+#include "os/process.hh"
+
+namespace bctrl {
+
+namespace {
+constexpr unsigned recordBytes = 64;
+} // namespace
+
+NnWorkload::NnWorkload(std::uint64_t scale, std::uint64_t seed)
+    : numRecords_(3072 * scale), recordsPerUnit_(12), passes_(32)
+{
+    (void)seed;
+}
+
+void
+NnWorkload::setup(Process &proc)
+{
+    recordBase_ =
+        proc.mmap(numRecords_ * recordBytes, Perms::readOnly());
+    resultBase_ = proc.mmap(numUnits() * 64, Perms::readWrite());
+}
+
+std::uint64_t
+NnWorkload::numUnits() const
+{
+    // The (cache-resident) record set is scanned once per query point.
+    return passes_ * (numRecords_ / recordsPerUnit_);
+}
+
+std::uint64_t
+NnWorkload::memItemsPerUnit() const
+{
+    return recordsPerUnit_ + 1;
+}
+
+void
+NnWorkload::expand(std::uint64_t unit, std::vector<WorkItem> &out)
+{
+    // Pure streaming: read each record once, compute its distance,
+    // keep a running best, and write the unit's candidate at the end.
+    const std::uint64_t slice = unit % (numRecords_ / recordsPerUnit_);
+    const Addr base = recordBase_ + slice * recordsPerUnit_ * recordBytes;
+    for (std::uint64_t r = 0; r < recordsPerUnit_; ++r) {
+        out.push_back(
+            WorkItem::mem(base + r * recordBytes, false, recordBytes));
+        // Distance computation over the record's 16 coordinates.
+        out.push_back(WorkItem::compute(6));
+    }
+    out.push_back(WorkItem::mem(resultBase_ + unit * 64, true, 64));
+}
+
+} // namespace bctrl

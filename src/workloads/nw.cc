@@ -1,0 +1,75 @@
+#include "workloads/rodinia.hh"
+
+#include "os/process.hh"
+
+namespace bctrl {
+
+NwWorkload::NwWorkload(std::uint64_t scale, std::uint64_t seed)
+    : dim_(512 * scale), block_(16)
+{
+    (void)seed;
+}
+
+void
+NwWorkload::setup(Process &proc)
+{
+    refBase_ = proc.mmap(dim_ * dim_ * 4, Perms::readOnly());
+    scoreBase_ = proc.mmap(dim_ * dim_ * 4, Perms::readWrite());
+}
+
+std::uint64_t
+NwWorkload::numUnits() const
+{
+    return (dim_ / block_) * (dim_ / block_);
+}
+
+std::uint64_t
+NwWorkload::memItemsPerUnit() const
+{
+    const std::uint64_t row_accesses =
+        std::max<std::uint64_t>(1, block_ * 4 / 64);
+    return block_ * row_accesses /* reference block */ +
+           2 /* boundaries */ + block_ * row_accesses /* score write */;
+}
+
+void
+NwWorkload::expand(std::uint64_t unit, std::vector<WorkItem> &out)
+{
+    // Process the DP matrix in blocks along anti-diagonals; each block
+    // reads its reference sub-matrix and the boundary rows/columns of
+    // the already-computed neighbours, then writes its scores.
+    const std::uint64_t blocks_per_row = dim_ / block_;
+    const std::uint64_t brow = unit / blocks_per_row;
+    const std::uint64_t bcol = unit % blocks_per_row;
+    const Addr row_bytes = dim_ * 4;
+    const Addr origin = brow * block_ * row_bytes + bcol * block_ * 4;
+    const Addr row_accesses =
+        std::max<std::uint64_t>(1, block_ * 4 / 64);
+
+    // Boundary reads: last row of the block above, last column strip
+    // of the block to the left.
+    if (brow > 0)
+        out.push_back(
+            WorkItem::mem(scoreBase_ + origin - row_bytes, false, 64));
+    if (bcol > 0)
+        out.push_back(
+            WorkItem::mem(scoreBase_ + origin - 64, false, 64));
+
+    for (std::uint64_t r = 0; r < block_; ++r) {
+        const Addr row_off = origin + r * row_bytes;
+        for (Addr a = 0; a < row_accesses; ++a)
+            out.push_back(
+                WorkItem::mem(refBase_ + row_off + a * 64, false, 64));
+        // Re-read the previous DP row of this block (L1-hot) and
+        // compute the cell updates.
+        if (r > 0)
+            out.push_back(WorkItem::mem(
+                scoreBase_ + row_off - row_bytes, false, 64));
+        out.push_back(WorkItem::compute(80));
+        for (Addr a = 0; a < row_accesses; ++a)
+            out.push_back(
+                WorkItem::mem(scoreBase_ + row_off + a * 64, true, 64));
+    }
+}
+
+} // namespace bctrl

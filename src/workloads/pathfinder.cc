@@ -1,0 +1,62 @@
+#include "workloads/rodinia.hh"
+
+#include "os/process.hh"
+
+namespace bctrl {
+
+PathfinderWorkload::PathfinderWorkload(std::uint64_t scale,
+                                       std::uint64_t seed)
+    : cols_(8192 * scale), rows_(96), segment_(256)
+{
+    (void)seed;
+}
+
+void
+PathfinderWorkload::setup(Process &proc)
+{
+    wallBase_ = proc.mmap(rows_ * cols_ * 4, Perms::readOnly());
+    srcBase_ = proc.mmap(cols_ * 4, Perms::readWrite());
+    dstBase_ = proc.mmap(cols_ * 4, Perms::readWrite());
+}
+
+std::uint64_t
+PathfinderWorkload::numUnits() const
+{
+    return rows_ * (cols_ / segment_);
+}
+
+std::uint64_t
+PathfinderWorkload::memItemsPerUnit() const
+{
+    const std::uint64_t seg_accesses = segment_ * 4 / 64;
+    return 3 * seg_accesses;
+}
+
+void
+PathfinderWorkload::expand(std::uint64_t unit, std::vector<WorkItem> &out)
+{
+    const std::uint64_t segs_per_row = cols_ / segment_;
+    const std::uint64_t row = unit / segs_per_row;
+    const std::uint64_t seg = unit % segs_per_row;
+    const Addr seg_bytes = segment_ * 4;
+    const Addr seg_off = seg * seg_bytes;
+    // The row result buffers ping-pong between iterations.
+    const Addr prev = (row % 2 == 0) ? srcBase_ : dstBase_;
+    const Addr cur = (row % 2 == 0) ? dstBase_ : srcBase_;
+
+    for (Addr b = 0; b < seg_bytes; b += 64) {
+        // min(prev[j-1], prev[j], prev[j+1]) + wall[row][j]: the three
+        // neighbour reads hit the same or the adjacent line, so the
+        // previous row is strongly L1/L2 resident.
+        const Addr p = prev + seg_off + b;
+        out.push_back(WorkItem::mem(p >= prev + 64 ? p - 64 : p, false,
+                                    64));
+        out.push_back(WorkItem::mem(p, false, 64));
+        out.push_back(WorkItem::mem(
+            wallBase_ + row * cols_ * 4 + seg_off + b, false, 64));
+        out.push_back(WorkItem::compute(45));
+        out.push_back(WorkItem::mem(cur + seg_off + b, true, 64));
+    }
+}
+
+} // namespace bctrl

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * The seven Rodinia-proxy workloads of the paper's evaluation (§5.1).
+ *
+ * Each class reproduces the memory behaviour of the corresponding
+ * Rodinia benchmark running on a unified CPU/GPU address space:
+ * footprint, read/write mix, locality, regular vs. data-dependent
+ * access, and compute intensity. See DESIGN.md §2 for the
+ * substitution rationale.
+ */
+
+#ifndef BCTRL_WORKLOADS_RODINIA_HH
+#define BCTRL_WORKLOADS_RODINIA_HH
+
+#include "workloads/workload.hh"
+
+namespace bctrl {
+
+/**
+ * backprop: two-layer neural-network training. Streams a large weight
+ * matrix through dense MACs twice (forward + backward), re-reading a
+ * hot input vector; compute-dominated, so the border request rate is
+ * the lowest of the suite (paper Fig. 5: ~0.025 req/cycle).
+ */
+class BackpropWorkload : public TiledWorkload
+{
+  public:
+    BackpropWorkload(std::uint64_t scale, std::uint64_t seed);
+
+    std::string name() const override { return "backprop"; }
+    void setup(Process &proc) override;
+
+  protected:
+    std::uint64_t numUnits() const override;
+    void expand(std::uint64_t unit, std::vector<WorkItem> &out) override;
+    std::uint64_t memItemsPerUnit() const override;
+
+  private:
+    std::uint64_t inputCount_;  ///< input-layer width (floats)
+    std::uint64_t hiddenCount_; ///< hidden-layer width
+    std::uint64_t chunk_;       ///< inputs per work unit
+    Addr inputBase_ = 0;
+    Addr weightBase_ = 0;
+    Addr deltaBase_ = 0;
+    Addr hiddenBase_ = 0;
+};
+
+/**
+ * bfs: level-synchronous breadth-first search over a CSR graph.
+ * Frontier reads are sequential but edge-endpoint visited/cost
+ * accesses scatter across the node arrays — the suite's most irregular
+ * stream and its highest border request rate (Fig. 5: ~0.29).
+ */
+class BfsWorkload : public TiledWorkload
+{
+  public:
+    BfsWorkload(std::uint64_t scale, std::uint64_t seed);
+
+    std::string name() const override { return "bfs"; }
+    void setup(Process &proc) override;
+
+  protected:
+    std::uint64_t numUnits() const override;
+    void expand(std::uint64_t unit, std::vector<WorkItem> &out) override;
+    std::uint64_t memItemsPerUnit() const override;
+
+  private:
+    std::uint64_t numNodes_;
+    std::uint64_t nodesPerUnit_;
+    unsigned degree_;
+    std::uint64_t seed_;
+    Addr frontierBase_ = 0;
+    Addr rowOffsetBase_ = 0;
+    Addr edgeBase_ = 0;
+    Addr visitedBase_ = 0;
+    Addr costBase_ = 0;
+};
+
+/**
+ * hotspot: a 2-D thermal stencil. Each cell reads its neighbours and a
+ * power grid and writes the output grid; row-to-row reuse gives
+ * regular, cache-friendly behaviour.
+ */
+class HotspotWorkload : public TiledWorkload
+{
+  public:
+    HotspotWorkload(std::uint64_t scale, std::uint64_t seed);
+
+    std::string name() const override { return "hotspot"; }
+    void setup(Process &proc) override;
+
+  protected:
+    std::uint64_t numUnits() const override;
+    void expand(std::uint64_t unit, std::vector<WorkItem> &out) override;
+    std::uint64_t memItemsPerUnit() const override;
+
+  private:
+    std::uint64_t rows_;
+    std::uint64_t cols_;
+    std::uint64_t segment_;
+    unsigned iterations_;
+    Addr tempBase_ = 0;
+    Addr powerBase_ = 0;
+    Addr outBase_ = 0;
+};
+
+/**
+ * lud: blocked LU decomposition of a dense matrix. Small tiles are
+ * re-read many times from the L1, so the baseline is strongly
+ * cache-resident — exactly the workload the full IOMMU hurts most
+ * (Fig. 4a: ~983% overhead when the caches are stripped).
+ */
+class LudWorkload : public TiledWorkload
+{
+  public:
+    LudWorkload(std::uint64_t scale, std::uint64_t seed);
+
+    std::string name() const override { return "lud"; }
+    void setup(Process &proc) override;
+
+  protected:
+    std::uint64_t numUnits() const override;
+    void expand(std::uint64_t unit, std::vector<WorkItem> &out) override;
+    std::uint64_t memItemsPerUnit() const override;
+
+  private:
+    std::uint64_t dim_;      ///< matrix dimension (floats)
+    std::uint64_t tile_;     ///< tile dimension
+    unsigned tileReuse_;     ///< passes over each tile
+    Addr matrixBase_ = 0;
+};
+
+/**
+ * nn: nearest-neighbour search. Scans a (mostly cache-resident)
+ * record set once per query point, computing a distance per record
+ * with rare result writes — a read-dominated scan whose reuse comes
+ * from repeated passes.
+ */
+class NnWorkload : public TiledWorkload
+{
+  public:
+    NnWorkload(std::uint64_t scale, std::uint64_t seed);
+
+    std::string name() const override { return "nn"; }
+    void setup(Process &proc) override;
+
+  protected:
+    std::uint64_t numUnits() const override;
+    void expand(std::uint64_t unit, std::vector<WorkItem> &out) override;
+    std::uint64_t memItemsPerUnit() const override;
+
+  private:
+    std::uint64_t numRecords_;
+    std::uint64_t recordsPerUnit_;
+    unsigned passes_;
+    Addr recordBase_ = 0;
+    Addr resultBase_ = 0;
+};
+
+/**
+ * nw: Needleman-Wunsch sequence alignment — dynamic programming over
+ * a 2-D score matrix in diagonal blocks, reading a reference matrix
+ * and the top/left block boundaries, then writing the block.
+ */
+class NwWorkload : public TiledWorkload
+{
+  public:
+    NwWorkload(std::uint64_t scale, std::uint64_t seed);
+
+    std::string name() const override { return "nw"; }
+    void setup(Process &proc) override;
+
+  protected:
+    std::uint64_t numUnits() const override;
+    void expand(std::uint64_t unit, std::vector<WorkItem> &out) override;
+    std::uint64_t memItemsPerUnit() const override;
+
+  private:
+    std::uint64_t dim_;
+    std::uint64_t block_;
+    Addr refBase_ = 0;
+    Addr scoreBase_ = 0;
+};
+
+/**
+ * pathfinder: row-wise dynamic programming across a wide grid; each
+ * row reads the previous row (partially L2-resident) and a wall row,
+ * and writes the new row.
+ */
+class PathfinderWorkload : public TiledWorkload
+{
+  public:
+    PathfinderWorkload(std::uint64_t scale, std::uint64_t seed);
+
+    std::string name() const override { return "pathfinder"; }
+    void setup(Process &proc) override;
+
+  protected:
+    std::uint64_t numUnits() const override;
+    void expand(std::uint64_t unit, std::vector<WorkItem> &out) override;
+    std::uint64_t memItemsPerUnit() const override;
+
+  private:
+    std::uint64_t cols_;
+    std::uint64_t rows_;
+    std::uint64_t segment_;
+    Addr wallBase_ = 0;
+    Addr srcBase_ = 0;
+    Addr dstBase_ = 0;
+};
+
+} // namespace bctrl
+
+#endif // BCTRL_WORKLOADS_RODINIA_HH

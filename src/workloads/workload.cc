@@ -1,0 +1,90 @@
+#include "workloads/workload.hh"
+
+#include "sim/logging.hh"
+#include "workloads/extra.hh"
+#include "workloads/micro.hh"
+#include "workloads/rodinia.hh"
+
+namespace bctrl {
+
+void
+TiledWorkload::bind(unsigned num_cus, unsigned wfs_per_cu)
+{
+    panic_if(num_cus == 0 || wfs_per_cu == 0, "binding an empty machine");
+    numCus_ = num_cus;
+    wfsPerCu_ = wfs_per_cu;
+    totalWfs_ = num_cus * wfs_per_cu;
+    cursors_.assign(totalWfs_, Cursor{});
+    // Interleave units across wavefronts so that consecutive units —
+    // which usually touch adjacent data — run concurrently, as a GPU
+    // scheduler would arrange.
+    for (unsigned i = 0; i < totalWfs_; ++i)
+        cursors_[i].unit = i;
+}
+
+WorkItem
+TiledWorkload::next(unsigned cu, unsigned wf)
+{
+    panic_if(cursors_.empty(), "next() before bind()");
+    Cursor &c = cursors_[std::size_t(cu) * wfsPerCu_ + wf];
+    while (c.pos >= c.buffer.size()) {
+        if (c.unit >= numUnits())
+            return WorkItem::end();
+        c.buffer.clear();
+        c.pos = 0;
+        expand(c.unit, c.buffer);
+        c.unit += totalWfs_;
+    }
+    return c.buffer[c.pos++];
+}
+
+std::uint64_t
+TiledWorkload::totalMemItems() const
+{
+    return numUnits() * memItemsPerUnit();
+}
+
+std::unique_ptr<Workload>
+makeWorkload(const std::string &name, std::uint64_t scale,
+             std::uint64_t seed)
+{
+    if (scale == 0)
+        scale = 1;
+    if (name == "backprop")
+        return std::make_unique<BackpropWorkload>(scale, seed);
+    if (name == "bfs")
+        return std::make_unique<BfsWorkload>(scale, seed);
+    if (name == "hotspot")
+        return std::make_unique<HotspotWorkload>(scale, seed);
+    if (name == "lud")
+        return std::make_unique<LudWorkload>(scale, seed);
+    if (name == "nn")
+        return std::make_unique<NnWorkload>(scale, seed);
+    if (name == "nw")
+        return std::make_unique<NwWorkload>(scale, seed);
+    if (name == "pathfinder")
+        return std::make_unique<PathfinderWorkload>(scale, seed);
+    if (name == "kmeans")
+        return std::make_unique<KmeansWorkload>(scale, seed);
+    if (name == "srad")
+        return std::make_unique<SradWorkload>(scale, seed);
+    if (name == "gaussian")
+        return std::make_unique<GaussianWorkload>(scale, seed);
+    if (name == "uniform")
+        return std::make_unique<UniformRandomWorkload>(scale, seed);
+    if (name == "stream")
+        return std::make_unique<StreamWorkload>(scale, seed);
+    if (name == "strided")
+        return std::make_unique<StridedWorkload>(scale, seed);
+    return nullptr;
+}
+
+const std::vector<std::string> &
+rodiniaWorkloadNames()
+{
+    static const std::vector<std::string> names{
+        "backprop", "bfs", "hotspot", "lud", "nn", "nw", "pathfinder"};
+    return names;
+}
+
+} // namespace bctrl

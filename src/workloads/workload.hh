@@ -1,0 +1,132 @@
+/**
+ * @file
+ * The workload interface: per-wavefront instruction streams.
+ *
+ * A Workload stands in for a compiled GPU kernel. After setup()
+ * allocates its buffers in a process's address space and bind() tells
+ * it the machine shape, each hardware wavefront pulls a stream of
+ * items — coalesced memory accesses and compute gaps — via next().
+ * The streams are deterministic for a given seed, so two simulations
+ * of different safety configurations execute identical access traces.
+ *
+ * These generators are the repository's substitute for the paper's
+ * Rodinia benchmarks: they reproduce each benchmark's footprint,
+ * read/write mix, spatial/temporal locality, and compute intensity,
+ * which is everything Border Control's behaviour depends on (see
+ * DESIGN.md §2).
+ */
+
+#ifndef BCTRL_WORKLOADS_WORKLOAD_HH
+#define BCTRL_WORKLOADS_WORKLOAD_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/random.hh"
+#include "sim/types.hh"
+
+namespace bctrl {
+
+class Process;
+
+/** One step of a wavefront's execution. */
+struct WorkItem {
+    enum class Kind : std::uint8_t {
+        mem,     ///< a coalesced memory access
+        compute, ///< ALU work: the wavefront stalls for `cycles`
+        end,     ///< the wavefront has finished
+    };
+
+    Kind kind = Kind::end;
+    Addr vaddr = 0;
+    bool write = false;
+    unsigned size = 32; ///< bytes actually needed (coalesced width)
+    Cycles cycles = 0;  ///< for compute items
+
+    static WorkItem
+    mem(Addr vaddr, bool write, unsigned size = 32)
+    {
+        return WorkItem{Kind::mem, vaddr, write, size, 0};
+    }
+    static WorkItem
+    compute(Cycles cycles)
+    {
+        return WorkItem{Kind::compute, 0, false, 0, cycles};
+    }
+    static WorkItem end() { return WorkItem{}; }
+};
+
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    virtual std::string name() const = 0;
+
+    /** Allocate buffers in @p proc's address space. */
+    virtual void setup(Process &proc) = 0;
+
+    /** Inform the workload of the machine shape; resets all streams. */
+    virtual void bind(unsigned num_cus, unsigned wfs_per_cu) = 0;
+
+    /** Next item for hardware wavefront (@p cu, @p wf). */
+    virtual WorkItem next(unsigned cu, unsigned wf) = 0;
+
+    /** Total memory items the bound configuration will produce. */
+    virtual std::uint64_t totalMemItems() const = 0;
+};
+
+/**
+ * Base class for the Rodinia-proxy generators: handles binding,
+ * per-wavefront cursors over a global list of work units, and the
+ * common scale knob.
+ *
+ * Concrete workloads define work units (e.g. a tile, a row segment, a
+ * frontier node) and expand one unit into a short item sequence.
+ */
+class TiledWorkload : public Workload
+{
+  public:
+    void bind(unsigned num_cus, unsigned wfs_per_cu) override;
+    WorkItem next(unsigned cu, unsigned wf) override;
+    std::uint64_t totalMemItems() const override;
+
+  protected:
+    /** Number of global work units this workload generates. */
+    virtual std::uint64_t numUnits() const = 0;
+
+    /**
+     * Expand unit @p unit into items, appended to @p out. Called once
+     * per unit, on demand.
+     */
+    virtual void expand(std::uint64_t unit,
+                        std::vector<WorkItem> &out) = 0;
+
+    /** Mem items per unit (for totalMemItems; may be approximate). */
+    virtual std::uint64_t memItemsPerUnit() const = 0;
+
+  private:
+    struct Cursor {
+        std::uint64_t unit = 0;   ///< next global unit to expand
+        std::vector<WorkItem> buffer;
+        std::size_t pos = 0;
+    };
+
+    unsigned numCus_ = 0;
+    unsigned wfsPerCu_ = 0;
+    unsigned totalWfs_ = 0;
+    std::vector<Cursor> cursors_;
+};
+
+/** Factory: construct a named workload (nullptr if unknown). */
+std::unique_ptr<Workload> makeWorkload(const std::string &name,
+                                       std::uint64_t scale,
+                                       std::uint64_t seed = 1);
+
+/** The seven Rodinia-proxy workload names, in the paper's order. */
+const std::vector<std::string> &rodiniaWorkloadNames();
+
+} // namespace bctrl
+
+#endif // BCTRL_WORKLOADS_WORKLOAD_HH

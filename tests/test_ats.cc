@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Unit tests for the ATS: ASID validation, L2 TLB hits, timed page
+ * walks, demand-fault service, and Border Control notification on
+ * every translation (Fig. 3b).
+ */
+
+#include <gtest/gtest.h>
+
+#include "bc/border_control.hh"
+#include "mem/dram.hh"
+#include "os/kernel.hh"
+#include "vm/ats.hh"
+
+using namespace bctrl;
+
+namespace {
+
+struct AtsTest : public ::testing::Test {
+    EventQueue eq;
+    BackingStore store{256ULL * 1024 * 1024};
+    Dram dram{eq, "mem", store, Dram::Params{}};
+    Kernel kernel{eq, "kernel", store, Kernel::Params{}};
+    Ats ats{eq, "ats", Ats::Params{}, dram};
+
+    void
+    SetUp() override
+    {
+        ats.setKernel(&kernel);
+        kernel.attachAccelerator(nullptr, nullptr, &ats);
+    }
+
+    Process &
+    runningProcess()
+    {
+        Process &p = kernel.createProcess();
+        kernel.scheduleOnAccelerator(p);
+        return p;
+    }
+
+    struct Result {
+        bool called = false;
+        bool ok = false;
+        TlbEntry entry;
+        Tick when = 0;
+    };
+
+    Result
+    translate(Asid asid, Addr vaddr, bool write)
+    {
+        Result res;
+        ats.translate(asid, vaddr, write,
+                      [&](bool ok, const TlbEntry &e) {
+                          res.called = true;
+                          res.ok = ok;
+                          res.entry = e;
+                          res.when = eq.curTick();
+                      });
+        eq.run();
+        return res;
+    }
+};
+
+} // namespace
+
+TEST_F(AtsTest, RejectsAsidNotOnAccelerator)
+{
+    Process &p = kernel.createProcess(); // never scheduled
+    Addr va = p.mmap(pageSize, Perms::readWrite(), true);
+    Result r = translate(p.asid(), va, false);
+    EXPECT_TRUE(r.called);
+    EXPECT_FALSE(r.ok);
+    EXPECT_EQ(ats.translationFaults(), 1u);
+}
+
+TEST_F(AtsTest, WalksPageTableForMappedPage)
+{
+    Process &p = runningProcess();
+    Addr va = p.mmap(pageSize, Perms::readWrite(), true);
+    WalkResult expect = p.pageTable().walk(va);
+    Result r = translate(p.asid(), va, true);
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(r.entry.ppn, pageNumber(expect.paddr));
+    EXPECT_EQ(r.entry.vpn, pageNumber(va));
+    EXPECT_EQ(ats.walks(), 1u);
+}
+
+TEST_F(AtsTest, L2TlbHitSkipsTheWalk)
+{
+    Process &p = runningProcess();
+    Addr va = p.mmap(pageSize, Perms::readWrite(), true);
+    translate(p.asid(), va, false);
+    const auto walks_before = ats.walks();
+    Tick start = eq.curTick();
+    Result r = translate(p.asid(), va, false);
+    EXPECT_TRUE(r.ok);
+    EXPECT_EQ(ats.walks(), walks_before);
+    // A hit is much faster than a four-PTE walk through DRAM.
+    EXPECT_LT(r.when - start, 60'000u);
+}
+
+TEST_F(AtsTest, WalkIsSlowerThanHit)
+{
+    Process &p = runningProcess();
+    Addr va = p.mmap(2 * pageSize, Perms::readWrite(), true);
+    Tick start = eq.curTick();
+    Result walk = translate(p.asid(), va, false);
+    Tick walk_latency = walk.when - start;
+    start = eq.curTick();
+    Result hit = translate(p.asid(), va, false);
+    Tick hit_latency = hit.when - start;
+    EXPECT_GT(walk_latency, hit_latency);
+    // Four dependent PTE reads cost at least 4 x 50 ns DRAM latency.
+    EXPECT_GE(walk_latency, 200'000u);
+}
+
+TEST_F(AtsTest, DemandFaultAllocatesAndRetries)
+{
+    Process &p = runningProcess();
+    Addr va = p.mmap(64 * pageSize, Perms::readWrite()); // lazy
+    Result r = translate(p.asid(), va + 5 * pageSize, true);
+    EXPECT_TRUE(r.ok);
+    EXPECT_EQ(p.faultsServiced(), 1u);
+    EXPECT_TRUE(p.pageTable().walk(va + 5 * pageSize).valid);
+}
+
+TEST_F(AtsTest, UnmappedAddressFaultsFatally)
+{
+    Process &p = runningProcess();
+    Result r = translate(p.asid(), 0xdddd0000, false);
+    EXPECT_FALSE(r.ok);
+}
+
+TEST_F(AtsTest, WriteTranslationNeedsWritePermission)
+{
+    Process &p = runningProcess();
+    Addr va = p.mmap(pageSize, Perms::readOnly(), true);
+    EXPECT_TRUE(translate(p.asid(), va, false).ok);
+    EXPECT_FALSE(translate(p.asid(), va, true).ok);
+}
+
+TEST_F(AtsTest, InvalidationForcesRewalk)
+{
+    Process &p = runningProcess();
+    Addr va = p.mmap(pageSize, Perms::readWrite(), true);
+    translate(p.asid(), va, false);
+    const auto walks_before = ats.walks();
+    ats.invalidatePage(p.asid(), pageNumber(va));
+    translate(p.asid(), va, false);
+    EXPECT_EQ(ats.walks(), walks_before + 1);
+}
+
+TEST_F(AtsTest, NotifiesBorderControlOnEveryRequest)
+{
+    Dram mem2(eq, "mem2", store, Dram::Params{});
+    BorderControl bc(eq, "bc", BorderControl::Params{}, mem2);
+    ProtectionTable table(store, 0x2000, store.numPages());
+    bc.attachTable(&table);
+    bc.incrUseCount();
+    ats.setBorderControl(&bc);
+
+    Process &p = runningProcess();
+    Addr va = p.mmap(pageSize, Perms::readWrite(), true);
+    WalkResult w = p.pageTable().walk(va);
+
+    translate(p.asid(), va, false);
+    // The walk's translation was mirrored into the Protection Table.
+    EXPECT_EQ(table.getPerms(pageNumber(w.paddr)), Perms::readWrite());
+
+    // §3.1.1: the table is updated on every ATS request, even L2 TLB
+    // hits (here: after the OS zeroed the table).
+    table.zeroAll();
+    translate(p.asid(), va, false);
+    EXPECT_EQ(table.getPerms(pageNumber(w.paddr)), Perms::readWrite());
+}
+
+TEST_F(AtsTest, LargePageTranslationReturnsBaseEntry)
+{
+    Process &p = runningProcess();
+    Addr va = p.mmap(largePageSize, Perms::readWrite(), true, true);
+    Result r = translate(p.asid(), va + 0x5000, false);
+    ASSERT_TRUE(r.ok);
+    EXPECT_TRUE(r.entry.largePage);
+    EXPECT_EQ(r.entry.vpn % pagesPerLargePage, 0u);
+}
+
+TEST_F(AtsTest, PortSerializesBurstsOfTranslations)
+{
+    Process &p = runningProcess();
+    Addr va = p.mmap(pageSize, Perms::readWrite(), true);
+    translate(p.asid(), va, false); // warm the TLB
+    std::vector<Tick> completions;
+    for (int i = 0; i < 8; ++i) {
+        ats.translate(p.asid(), va, false,
+                      [&](bool, const TlbEntry &) {
+                          completions.push_back(eq.curTick());
+                      });
+    }
+    eq.run();
+    ASSERT_EQ(completions.size(), 8u);
+    // One translation per cycle: completions spread over >= 7 cycles.
+    EXPECT_GE(completions.back() - completions.front(), 7u * 1'429u / 2);
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Unit tests for the sparse functional backing store.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "mem/backing_store.hh"
+
+using namespace bctrl;
+
+TEST(BackingStore, RoundsSizeUpToPage)
+{
+    BackingStore store(pageSize + 1);
+    EXPECT_EQ(store.size(), 2 * pageSize);
+    EXPECT_EQ(store.numPages(), 2u);
+}
+
+TEST(BackingStore, ReadsZeroFromUntouchedMemory)
+{
+    BackingStore store(1 << 20);
+    EXPECT_EQ(store.read64(0x1234), 0u);
+    EXPECT_EQ(store.residentPages(), 0u);
+}
+
+TEST(BackingStore, WriteThenReadBack)
+{
+    BackingStore store(1 << 20);
+    store.write64(0x100, 0xdeadbeefcafef00dULL);
+    EXPECT_EQ(store.read64(0x100), 0xdeadbeefcafef00dULL);
+    store.write8(0x200, 0x5a);
+    EXPECT_EQ(store.read8(0x200), 0x5a);
+}
+
+TEST(BackingStore, CrossPageTransfer)
+{
+    BackingStore store(1 << 20);
+    std::vector<std::uint8_t> data(3 * pageSize);
+    for (std::size_t i = 0; i < data.size(); ++i)
+        data[i] = static_cast<std::uint8_t>(i * 7);
+    const Addr base = pageSize - 100; // straddles page boundaries
+    store.write(base, data.data(), data.size());
+
+    std::vector<std::uint8_t> out(data.size());
+    store.read(base, out.data(), out.size());
+    EXPECT_EQ(data, out);
+    EXPECT_EQ(store.residentPages(), 4u);
+}
+
+TEST(BackingStore, ZeroClearsRange)
+{
+    BackingStore store(1 << 20);
+    store.write64(0x1000, ~0ULL);
+    store.write64(0x1008, ~0ULL);
+    store.zero(0x1000, 8);
+    EXPECT_EQ(store.read64(0x1000), 0u);
+    EXPECT_EQ(store.read64(0x1008), ~0ULL);
+}
+
+TEST(BackingStore, ZeroOnUntouchedPagesAllocatesNothing)
+{
+    BackingStore store(1 << 20);
+    store.zero(0, 1 << 20);
+    EXPECT_EQ(store.residentPages(), 0u);
+}
+
+TEST(BackingStore, SparseAllocation)
+{
+    BackingStore store(1ULL << 32); // 4 GB simulated
+    store.write64(3ULL << 30, 1);   // touch one page at 3 GB
+    EXPECT_EQ(store.residentPages(), 1u);
+    EXPECT_EQ(store.read64(3ULL << 30), 1u);
+}
+
+TEST(BackingStore, OutOfRangeAccessPanics)
+{
+    BackingStore store(1 << 16);
+    std::uint8_t byte = 0;
+    EXPECT_DEATH(store.read((1 << 16) - 2, &byte, 4), "outside memory");
+    EXPECT_DEATH(store.write64(1 << 16, 0), "outside memory");
+}

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Unit tests for the Border Control Cache: subblocked entries, fills
+ * from the Protection Table, write-through updates, LRU replacement,
+ * and the size/reach arithmetic of §3.1.2 and Fig. 6.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bc/bcc.hh"
+#include "bc/protection_table.hh"
+
+using namespace bctrl;
+
+namespace {
+
+struct BccTest : public ::testing::Test {
+    BackingStore store{256ULL * 1024 * 1024};
+    ProtectionTable table{store, 0x10000, store.numPages()};
+
+    BorderControlCache::Params
+    params(unsigned entries = 4, unsigned pages_per_entry = 8)
+    {
+        BorderControlCache::Params p;
+        p.entries = entries;
+        p.pagesPerEntry = pages_per_entry;
+        return p;
+    }
+};
+
+} // namespace
+
+TEST_F(BccTest, MissOnEmpty)
+{
+    BorderControlCache bcc(params());
+    EXPECT_FALSE(bcc.lookup(5).has_value());
+    EXPECT_EQ(bcc.misses(), 1u);
+    EXPECT_EQ(bcc.hits(), 0u);
+}
+
+TEST_F(BccTest, FillLoadsWholeGroupFromTable)
+{
+    BorderControlCache bcc(params(4, 8));
+    table.setPerms(8, Perms::readOnly());
+    table.setPerms(9, Perms::readWrite());
+    // Filling for PPN 10 brings in the whole group [8, 16).
+    Perms p10 = bcc.fill(10, table);
+    EXPECT_TRUE(p10.none());
+    EXPECT_EQ(*bcc.lookup(8), Perms::readOnly());
+    EXPECT_EQ(*bcc.lookup(9), Perms::readWrite());
+    EXPECT_TRUE(bcc.lookup(15)->none());
+    EXPECT_FALSE(bcc.lookup(16).has_value()); // next group
+}
+
+TEST_F(BccTest, UpdateOnlyTouchesResidentEntries)
+{
+    BorderControlCache bcc(params(4, 8));
+    EXPECT_FALSE(bcc.update(20, Perms::readWrite()));
+    bcc.fill(20, table);
+    EXPECT_TRUE(bcc.update(20, Perms::readWrite()));
+    EXPECT_EQ(*bcc.lookup(20), Perms::readWrite());
+}
+
+TEST_F(BccTest, LruReplacementEvictsOldest)
+{
+    BorderControlCache bcc(params(2, 8)); // 2 entries
+    bcc.fill(0, table);   // group 0
+    bcc.fill(8, table);   // group 1
+    bcc.lookup(0);        // group 0 is now MRU
+    bcc.fill(16, table);  // group 2 evicts group 1
+    EXPECT_TRUE(bcc.resident(0));
+    EXPECT_FALSE(bcc.resident(8));
+    EXPECT_TRUE(bcc.resident(16));
+}
+
+TEST_F(BccTest, InvalidatePageDropsCoveringEntry)
+{
+    BorderControlCache bcc(params(4, 8));
+    bcc.fill(0, table);
+    bcc.invalidatePage(3); // same group as 0
+    EXPECT_FALSE(bcc.resident(0));
+}
+
+TEST_F(BccTest, InvalidateAllDropsEverything)
+{
+    BorderControlCache bcc(params(4, 8));
+    bcc.fill(0, table);
+    bcc.fill(8, table);
+    bcc.invalidateAll();
+    EXPECT_FALSE(bcc.resident(0));
+    EXPECT_FALSE(bcc.resident(8));
+}
+
+TEST_F(BccTest, RefillReflectsTableChanges)
+{
+    BorderControlCache bcc(params(4, 8));
+    bcc.fill(0, table);
+    EXPECT_TRUE(bcc.lookup(0)->none());
+    // Table changes while the entry is resident are not visible until
+    // update() or a refill - the BCC is explicitly managed.
+    table.setPerms(0, Perms::readWrite());
+    EXPECT_TRUE(bcc.lookup(0)->none());
+    bcc.invalidateAll();
+    bcc.fill(0, table);
+    EXPECT_EQ(*bcc.lookup(0), Perms::readWrite());
+}
+
+TEST_F(BccTest, PaperDefaultSizeIs8KB)
+{
+    // 64 entries x 512 pages/entry x 2 bits = 8 KB of payload (the
+    // paper's configuration), plus 36-bit tags.
+    BorderControlCache::Params p;
+    p.entries = 64;
+    p.pagesPerEntry = 512;
+    p.tagBits = 36;
+    BorderControlCache bcc(p);
+    EXPECT_EQ(bcc.sizeBits(), 64u * (36 + 1024));
+    // Reach: permissions for 32K pages = 128 MB (§3.1.2).
+    EXPECT_EQ(bcc.reachPages(), 32u * 1024);
+    EXPECT_EQ(bcc.reachPages() * pageSize, 128ULL << 20);
+}
+
+TEST_F(BccTest, FillBytesMatchesGroupFootprint)
+{
+    BorderControlCache::Params p;
+    p.entries = 64;
+    p.pagesPerEntry = 512;
+    BorderControlCache bcc(p);
+    EXPECT_EQ(bcc.fillBytes(), 128u); // 512 pages x 2 bits = one block
+
+    BorderControlCache::Params small;
+    small.entries = 64;
+    small.pagesPerEntry = 1;
+    BorderControlCache tiny(small);
+    EXPECT_EQ(tiny.fillBytes(), 1u);
+}
+
+TEST_F(BccTest, SinglePagePerEntryDegeneratesToPlainCache)
+{
+    BorderControlCache bcc(params(4, 1));
+    table.setPerms(100, Perms::readOnly());
+    bcc.fill(100, table);
+    EXPECT_EQ(*bcc.lookup(100), Perms::readOnly());
+    EXPECT_FALSE(bcc.lookup(101).has_value());
+}
+
+TEST_F(BccTest, SpatialLocalityRewardsLargeEntries)
+{
+    // The Fig. 6 effect in miniature: scanning 64 consecutive pages
+    // with 8-page entries misses 8 times; with 1-page entries, 64.
+    BorderControlCache wide(params(16, 8));
+    BorderControlCache narrow(params(16, 1));
+    for (Addr ppn = 0; ppn < 64; ++ppn) {
+        if (!wide.lookup(ppn))
+            wide.fill(ppn, table);
+        if (!narrow.lookup(ppn))
+            narrow.fill(ppn, table);
+    }
+    EXPECT_EQ(wide.misses(), 8u);
+    EXPECT_EQ(narrow.misses(), 64u);
+}
+
+TEST_F(BccTest, ProbeDoesNotPerturbLruOrStats)
+{
+    BorderControlCache bcc(params(2, 8));
+    bcc.fill(0, table);
+    bcc.fill(8, table);
+    const auto h = bcc.hits();
+    const auto m = bcc.misses();
+    bcc.probe(0);
+    bcc.probe(99);
+    EXPECT_EQ(bcc.hits(), h);
+    EXPECT_EQ(bcc.misses(), m);
+    // probe(0) must not have refreshed group 0: group 0 is still LRU.
+    bcc.fill(16, table);
+    EXPECT_FALSE(bcc.resident(0));
+}
+
+TEST_F(BccTest, OutOfBoundsPagesFillAsNoAccess)
+{
+    BackingStore small(1 << 20); // 256 pages
+    ProtectionTable t(small, 0, 256);
+    BorderControlCache bcc(params(4, 512));
+    // Group 0 covers [0, 512) but the table only covers 256 pages.
+    Perms p = bcc.fill(300, t);
+    EXPECT_TRUE(p.none());
+    EXPECT_TRUE(bcc.lookup(511)->none());
+}

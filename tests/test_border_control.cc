@@ -1,0 +1,324 @@
+/**
+ * @file
+ * Unit tests for the Border Control unit: the check datapath
+ * (Fig. 3c), lazy Protection Table insertion (Fig. 3b), downgrades
+ * (Fig. 3d), process completion (Fig. 3e), multiprocess use counts
+ * (§3.3), and the parallel-check timing of §3.1.1.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "bc/border_control.hh"
+#include "mem/dram.hh"
+
+using namespace bctrl;
+
+namespace {
+
+class RecordingMemory : public MemDevice
+{
+  public:
+    explicit RecordingMemory(EventQueue &eq) : eq_(eq) {}
+
+    void
+    access(const PacketPtr &pkt) override
+    {
+        log.push_back(*pkt);
+        if (pkt->isRead())
+            pkt->grantedWritable = pkt->needsWritable;
+        respondAt(eq_, pkt, eq_.curTick() + 10'000);
+    }
+
+    unsigned
+    count(Requestor who) const
+    {
+        unsigned n = 0;
+        for (const Packet &p : log) {
+            if (p.requestor == who)
+                ++n;
+        }
+        return n;
+    }
+
+    std::vector<Packet> log;
+
+  private:
+    EventQueue &eq_;
+};
+
+struct BorderControlTest : public ::testing::Test {
+    EventQueue eq;
+    BackingStore store{64ULL * 1024 * 1024};
+    RecordingMemory mem{eq};
+    std::unique_ptr<ProtectionTable> table;
+
+    BorderControl::Params
+    params(bool use_bcc = true)
+    {
+        BorderControl::Params p;
+        p.useBcc = use_bcc;
+        p.bcc.entries = 8;
+        p.bcc.pagesPerEntry = 16;
+        p.bccLatency = 10;
+        p.tableLatency = 100;
+        p.clockPeriod = 1'000;
+        return p;
+    }
+
+    void
+    attach(BorderControl &bc)
+    {
+        table = std::make_unique<ProtectionTable>(store, 0x1000,
+                                                  store.numPages());
+        bc.attachTable(table.get());
+        bc.incrUseCount();
+    }
+
+    /** Send one accelerator request; returns (denied, completion). */
+    std::pair<bool, Tick>
+    send(BorderControl &bc, MemCmd cmd, Addr paddr)
+    {
+        bool denied = false;
+        Tick done = 0;
+        auto pkt = Packet::make(cmd, paddr, 64, Requestor::accelerator);
+        pkt->issuedAt = eq.curTick();
+        pkt->onResponse = [&](Packet &p) {
+            denied = p.denied;
+            done = eq.curTick();
+        };
+        bc.access(pkt);
+        eq.run();
+        return {denied, done};
+    }
+};
+
+} // namespace
+
+TEST_F(BorderControlTest, DeniesEverythingWithNoTable)
+{
+    BorderControl bc(eq, "bc", params(), mem);
+    auto [denied, when] = send(bc, MemCmd::Read, 0x4000);
+    EXPECT_TRUE(denied);
+    EXPECT_EQ(mem.count(Requestor::accelerator), 0u);
+}
+
+TEST_F(BorderControlTest, LazyTableStartsDenying)
+{
+    BorderControl bc(eq, "bc", params(), mem);
+    attach(bc);
+    // No translation has happened: the zeroed table denies (lazy
+    // population, §3.2.1).
+    auto [denied, when] = send(bc, MemCmd::Read, 0x4000);
+    EXPECT_TRUE(denied);
+    EXPECT_EQ(bc.violations(), 1u);
+}
+
+TEST_F(BorderControlTest, TranslationInsertionEnablesAccess)
+{
+    BorderControl bc(eq, "bc", params(), mem);
+    attach(bc);
+    bc.onTranslation(1, 0x99, pageNumber(0x4000), Perms::readOnly(),
+                     false);
+    auto [rd_denied, t1] = send(bc, MemCmd::Read, 0x4000);
+    EXPECT_FALSE(rd_denied);
+    // Read permission does not grant writes.
+    auto [wr_denied, t2] = send(bc, MemCmd::Write, 0x4000);
+    EXPECT_TRUE(wr_denied);
+    auto [wb_denied, t3] = send(bc, MemCmd::Writeback, 0x4000);
+    EXPECT_TRUE(wb_denied);
+    EXPECT_EQ(bc.violations(), 2u);
+}
+
+TEST_F(BorderControlTest, WritePermissionAllowsWritebacks)
+{
+    BorderControl bc(eq, "bc", params(), mem);
+    attach(bc);
+    bc.onTranslation(1, 0x99, pageNumber(0x8000), Perms::readWrite(),
+                     false);
+    EXPECT_FALSE(send(bc, MemCmd::Write, 0x8000).first);
+    EXPECT_FALSE(send(bc, MemCmd::Writeback, 0x8000).first);
+    EXPECT_EQ(bc.violations(), 0u);
+}
+
+TEST_F(BorderControlTest, DeniedWritesNeverReachMemory)
+{
+    BorderControl bc(eq, "bc", params(), mem);
+    attach(bc);
+    send(bc, MemCmd::Write, 0xdead000);
+    for (const Packet &p : mem.log)
+        EXPECT_NE(p.requestor, Requestor::accelerator);
+}
+
+TEST_F(BorderControlTest, ViolationHandlerIsNotified)
+{
+    BorderControl bc(eq, "bc", params(), mem);
+    attach(bc);
+    std::vector<Addr> reported;
+    bc.setViolationHandler(
+        [&](const Packet &p) { reported.push_back(p.paddr); });
+    send(bc, MemCmd::Write, 0x7040);
+    ASSERT_EQ(reported.size(), 1u);
+    EXPECT_EQ(reported[0], 0x7040u);
+}
+
+TEST_F(BorderControlTest, ReadCheckOverlapsMemoryAccess)
+{
+    // §3.1.1: the table lookup proceeds in parallel with the read.
+    // With a BCC hit (10 cycles) the response time is dominated by the
+    // 10 us memory, not 10 us + check.
+    BorderControl bc(eq, "bc", params(), mem);
+    attach(bc);
+    bc.onTranslation(1, 0x99, pageNumber(0x4000), Perms::readWrite(),
+                     false);
+    // Warm the BCC.
+    send(bc, MemCmd::Read, 0x4000);
+    Tick start = eq.curTick();
+    auto [denied, done] = send(bc, MemCmd::Read, 0x4040);
+    EXPECT_FALSE(denied);
+    EXPECT_LT(done - start, 10'000u + 5'000u); // ~mem latency only
+}
+
+TEST_F(BorderControlTest, WriteWaitsForCheck)
+{
+    BorderControl bc(eq, "bc", params(false), mem); // no BCC
+    attach(bc);
+    bc.onTranslation(1, 0x99, pageNumber(0x4000), Perms::readWrite(),
+                     false);
+    Tick start = eq.curTick();
+    auto [denied, done] = send(bc, MemCmd::Write, 0x4000);
+    EXPECT_FALSE(denied);
+    // 100-cycle table check (100 us at 1 ns clock ticks... 100 cycles
+    // x 1000 ticks) before the write even starts.
+    EXPECT_GE(done - start, 100u * 1'000u);
+}
+
+TEST_F(BorderControlTest, BccHitAvoidsTableTraffic)
+{
+    BorderControl bc(eq, "bc", params(true), mem);
+    attach(bc);
+    bc.onTranslation(1, 0x99, pageNumber(0x4000), Perms::readWrite(),
+                     false);
+    mem.log.clear();
+    send(bc, MemCmd::Read, 0x4000); // BCC already filled by insertion
+    EXPECT_EQ(bc.bccHits(), 1u);
+    // Only the demand read went to memory; no trusted table read.
+    EXPECT_EQ(mem.count(Requestor::trustedHw), 0u);
+}
+
+TEST_F(BorderControlTest, BccMissFetchesFromTable)
+{
+    BorderControl bc(eq, "bc", params(true), mem);
+    attach(bc);
+    bc.onTranslation(1, 0x99, pageNumber(0x4000), Perms::readWrite(),
+                     false);
+    // Push the entry out with fills from distant groups.
+    for (unsigned g = 1; g <= 8; ++g)
+        bc.onTranslation(1, 0x100 + g, pageNumber(0x4000) + g * 16,
+                         Perms::readOnly(), false);
+    mem.log.clear();
+    auto [denied, done] = send(bc, MemCmd::Read, 0x4000);
+    EXPECT_FALSE(denied);
+    EXPECT_GE(bc.bccMisses(), 1u);
+    EXPECT_GE(mem.count(Requestor::trustedHw), 1u);
+}
+
+TEST_F(BorderControlTest, NoBccAlwaysPaysTableAccess)
+{
+    BorderControl bc(eq, "bc", params(false), mem);
+    attach(bc);
+    bc.onTranslation(1, 0x99, pageNumber(0x4000), Perms::readWrite(),
+                     false);
+    mem.log.clear();
+    send(bc, MemCmd::Read, 0x4000);
+    send(bc, MemCmd::Read, 0x4040);
+    EXPECT_EQ(mem.count(Requestor::trustedHw), 2u);
+}
+
+TEST_F(BorderControlTest, MultiprocessUnionOfPermissions)
+{
+    BorderControl bc(eq, "bc", params(), mem);
+    attach(bc);
+    bc.incrUseCount(); // a second process
+    const Addr ppn = pageNumber(0xa000);
+    bc.onTranslation(1, 0x10, ppn, Perms::readOnly(), false);
+    bc.onTranslation(2, 0x20, ppn, Perms{false, true}, false);
+    // §3.3: the permissions used are the union across processes.
+    EXPECT_FALSE(send(bc, MemCmd::Read, 0xa000).first);
+    EXPECT_FALSE(send(bc, MemCmd::Write, 0xa000).first);
+    EXPECT_EQ(bc.decrUseCount(), 1u);
+}
+
+TEST_F(BorderControlTest, LargePageInsertionCoversAllPages)
+{
+    BorderControl bc(eq, "bc", params(), mem);
+    attach(bc);
+    const Addr base_ppn = 512; // 2 MB aligned
+    bc.onTranslation(1, 512, base_ppn, Perms::readWrite(), true);
+    // Every 4 KB page under the 2 MB mapping is permitted (§3.4.4).
+    for (Addr off : {Addr(0), Addr(5), Addr(511)}) {
+        EXPECT_FALSE(
+            send(bc, MemCmd::Read, (base_ppn + off) << pageShift).first)
+            << "page offset " << off;
+    }
+    EXPECT_TRUE(
+        send(bc, MemCmd::Read, (base_ppn + 512) << pageShift).first);
+}
+
+TEST_F(BorderControlTest, DowngradeRevokesSelectively)
+{
+    BorderControl bc(eq, "bc", params(), mem);
+    attach(bc);
+    const Addr ppn = pageNumber(0xb000);
+    bc.onTranslation(1, 0x30, ppn, Perms::readWrite(), false);
+    bc.downgradePage(ppn, Perms::readOnly());
+    EXPECT_FALSE(send(bc, MemCmd::Read, 0xb000).first);
+    EXPECT_TRUE(send(bc, MemCmd::Writeback, 0xb000).first);
+}
+
+TEST_F(BorderControlTest, ZeroTableRevokesEverything)
+{
+    BorderControl bc(eq, "bc", params(), mem);
+    attach(bc);
+    bc.onTranslation(1, 0x10, pageNumber(0xc000), Perms::readWrite(),
+                     false);
+    bc.zeroTableAndInvalidate();
+    EXPECT_TRUE(send(bc, MemCmd::Read, 0xc000).first);
+    EXPECT_TRUE(send(bc, MemCmd::Writeback, 0xc000).first);
+}
+
+TEST_F(BorderControlTest, OutOfBoundsPhysicalAddressDenied)
+{
+    BorderControl bc(eq, "bc", params(), mem);
+    // Table bounded at 256 pages.
+    table = std::make_unique<ProtectionTable>(store, 0x1000, 256);
+    bc.attachTable(table.get());
+    bc.incrUseCount();
+    // §3.2.3: the table is only checked after the bounds register.
+    EXPECT_TRUE(send(bc, MemCmd::Read, Addr(300) << pageShift).first);
+}
+
+TEST_F(BorderControlTest, TrustedTrafficBypassesChecks)
+{
+    BorderControl bc(eq, "bc", params(), mem);
+    attach(bc);
+    auto pkt = Packet::make(MemCmd::Read, 0xf000, 8,
+                            Requestor::trustedHw);
+    bool denied = true;
+    pkt->onResponse = [&](Packet &p) { denied = p.denied; };
+    bc.access(pkt);
+    eq.run();
+    EXPECT_FALSE(denied);
+    EXPECT_EQ(bc.borderRequests(), 0u);
+}
+
+TEST_F(BorderControlTest, DetachRequiresZeroUseCount)
+{
+    BorderControl bc(eq, "bc", params(), mem);
+    attach(bc);
+    EXPECT_DEATH(bc.detachTable(), "use count|processes are active");
+    bc.decrUseCount();
+    bc.detachTable();
+    EXPECT_EQ(bc.table(), nullptr);
+}

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Tests for the coherence point, focused on the paper's §3.4.3 cache
+ * organization invariant: an untrusted cache never gains ownership of
+ * a block it only asked to read, and dirty data requested read-only by
+ * the accelerator is written back to memory first.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.hh"
+#include "cache/coherence_point.hh"
+#include "mem/dram.hh"
+
+using namespace bctrl;
+
+namespace {
+
+struct CoherenceTest : public ::testing::Test {
+    EventQueue eq;
+    BackingStore store{1 << 24};
+    Dram dram{eq, "mem", store, Dram::Params{}};
+    CoherencePoint point{eq, "coh", dram, CoherencePoint::Params{}};
+
+    Cache::Params
+    cacheParams(Requestor side)
+    {
+        Cache::Params p;
+        p.size = 4 * 1024;
+        p.assoc = 4;
+        p.clockPeriod = 1'000;
+        p.side = side;
+        return p;
+    }
+
+    PacketPtr
+    fill(Addr addr, Requestor who, bool writable)
+    {
+        auto pkt = Packet::make(MemCmd::Read, addr, blockSize, who);
+        pkt->needsWritable = writable;
+        return pkt;
+    }
+
+    bool
+    runFill(const PacketPtr &pkt)
+    {
+        bool granted = false;
+        pkt->onResponse = [&](Packet &p) { granted = p.grantedWritable; };
+        point.access(pkt);
+        eq.run();
+        return granted;
+    }
+};
+
+} // namespace
+
+TEST_F(CoherenceTest, ReadOnlyAccelFillNeverGrantedWritable)
+{
+    // The core §3.4.3 rule: no owned-E responses to read-only
+    // accelerator requests.
+    EXPECT_FALSE(runFill(fill(0x1000, Requestor::accelerator, false)));
+}
+
+TEST_F(CoherenceTest, ExclusiveAccelFillGrantedWritable)
+{
+    EXPECT_TRUE(runFill(fill(0x2000, Requestor::accelerator, true)));
+}
+
+TEST_F(CoherenceTest, TrustedTrafficPassesUntracked)
+{
+    auto pkt = Packet::make(MemCmd::Read, 0x3000, 8,
+                            Requestor::trustedHw);
+    bool responded = false;
+    pkt->onResponse = [&](Packet &) { responded = true; };
+    point.access(pkt);
+    eq.run();
+    EXPECT_TRUE(responded);
+    EXPECT_EQ(point.trackedBlocks(), 0u);
+}
+
+TEST_F(CoherenceTest, AccelExclusiveRecallsCpuCopy)
+{
+    Cache cpu(eq, "cpu", cacheParams(Requestor::cpu), point);
+    point.setCpuCache(&cpu);
+
+    // CPU caches the block (dirty).
+    auto w = Packet::make(MemCmd::Write, 0x4000, 64, Requestor::cpu);
+    cpu.access(w);
+    eq.run();
+    ASSERT_NE(cpu.tags().findBlock(0x4000), nullptr);
+
+    // Accelerator asks for it exclusively: CPU copy must be recalled.
+    EXPECT_TRUE(runFill(fill(0x4000, Requestor::accelerator, true)));
+    EXPECT_EQ(cpu.tags().findBlock(0x4000), nullptr);
+    EXPECT_GE(point.recalls(), 1u);
+}
+
+TEST_F(CoherenceTest, DirtyCpuBlockWrittenBackOnAccelReadOnly)
+{
+    Cache cpu(eq, "cpu", cacheParams(Requestor::cpu), point);
+    point.setCpuCache(&cpu);
+
+    auto w = Packet::make(MemCmd::Write, 0x5000, 64, Requestor::cpu);
+    cpu.access(w);
+    eq.run();
+
+    const auto wb_before = cpu.writebacksIssued();
+    // Read-only accelerator fill of a dirty trusted block: the dirty
+    // data is written back so the accelerator only gets a clean shared
+    // copy it can never be asked to provide.
+    EXPECT_FALSE(runFill(fill(0x5000, Requestor::accelerator, false)));
+    EXPECT_EQ(cpu.writebacksIssued(), wb_before + 1);
+}
+
+TEST_F(CoherenceTest, CpuExclusiveRecallsAccelCopy)
+{
+    Cache accel(eq, "acc", cacheParams(Requestor::accelerator), point);
+    point.setAccelCache(&accel);
+
+    auto w = Packet::make(MemCmd::Write, 0x6000, 64,
+                          Requestor::accelerator);
+    accel.access(w);
+    eq.run();
+    ASSERT_NE(accel.tags().findBlock(0x6000), nullptr);
+
+    EXPECT_TRUE(runFill(fill(0x6000, Requestor::cpu, true)));
+    EXPECT_EQ(accel.tags().findBlock(0x6000), nullptr);
+}
+
+TEST_F(CoherenceTest, UncachedWriteInvalidatesOtherSide)
+{
+    Cache accel(eq, "acc", cacheParams(Requestor::accelerator), point);
+    point.setAccelCache(&accel);
+
+    auto r = Packet::make(MemCmd::Read, 0x7000, 64,
+                          Requestor::accelerator);
+    accel.access(r);
+    eq.run();
+    ASSERT_NE(accel.tags().findBlock(0x7000), nullptr);
+
+    // A CPU-side uncached (sub-block) write must invalidate the
+    // accelerator's stale copy.
+    auto w = Packet::make(MemCmd::Write, 0x7000, 32, Requestor::cpu);
+    point.access(w);
+    eq.run();
+    EXPECT_EQ(accel.tags().findBlock(0x7000), nullptr);
+}
+
+TEST_F(CoherenceTest, WritebackClearsOwnershipState)
+{
+    Cache accel(eq, "acc", cacheParams(Requestor::accelerator), point);
+    point.setAccelCache(&accel);
+
+    auto w = Packet::make(MemCmd::Write, 0x8000, 64,
+                          Requestor::accelerator);
+    accel.access(w);
+    eq.run();
+
+    // The accelerator writes the block back (e.g. on flush).
+    bool flushed = false;
+    accel.flushAll([&]() { flushed = true; });
+    eq.run();
+    EXPECT_TRUE(flushed);
+
+    // A subsequent CPU exclusive fill needs no recall.
+    const auto recalls_before = point.recalls();
+    EXPECT_TRUE(runFill(fill(0x8000, Requestor::cpu, true)));
+    EXPECT_EQ(point.recalls(), recalls_before);
+}
+
+TEST_F(CoherenceTest, RecallAddsLatency)
+{
+    Cache cpu(eq, "cpu", cacheParams(Requestor::cpu), point);
+    point.setCpuCache(&cpu);
+
+    auto w = Packet::make(MemCmd::Write, 0x9000, 64, Requestor::cpu);
+    cpu.access(w);
+    eq.run();
+
+    Tick t0 = eq.curTick();
+    auto with_recall = fill(0x9000, Requestor::accelerator, true);
+    Tick recall_done = 0;
+    with_recall->onResponse = [&](Packet &) { recall_done = eq.curTick(); };
+    point.access(with_recall);
+    eq.run();
+
+    Tick t1 = eq.curTick();
+    auto clean = fill(0xa000, Requestor::accelerator, true);
+    Tick clean_done = 0;
+    clean->onResponse = [&](Packet &) { clean_done = eq.curTick(); };
+    point.access(clean);
+    eq.run();
+
+    EXPECT_GT(recall_done - t0, clean_done - t1);
+}

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Tests for the memory-mapping-update protocol (Fig. 3d, §3.2.4):
+ * quiesce, shootdown, conditional cache flush, table/BCC update — in
+ * both the full-flush and selective-flush variants — plus the Fig. 7
+ * downgrade-injection machinery.
+ */
+
+#include <gtest/gtest.h>
+
+#include "config/system_builder.hh"
+#include "sim/logging.hh"
+
+using namespace bctrl;
+
+namespace {
+
+struct Quiet {
+    Quiet() { setLogVerbose(false); }
+} quiet;
+
+SystemConfig
+cfg(SafetyModel m = SafetyModel::borderControlBcc,
+    bool selective = false)
+{
+    SystemConfig c;
+    c.safety = m;
+    c.physMemBytes = 512ULL * 1024 * 1024;
+    c.selectiveFlush = selective;
+    return c;
+}
+
+} // namespace
+
+TEST(Downgrades, WritablePageDowngradeFlushesAndZeroes)
+{
+    System sys(cfg());
+    Process &proc = sys.kernel().createProcess();
+    Addr va = proc.mmap(pageSize, Perms::readWrite(), true);
+    WalkResult w = proc.pageTable().walk(va);
+    sys.kernel().scheduleOnAccelerator(proc);
+    sys.borderControl()->onTranslation(proc.asid(), pageNumber(va),
+                                       pageNumber(w.paddr),
+                                       Perms::readWrite(), false);
+    ASSERT_EQ(sys.borderControl()->table()->getPerms(pageNumber(w.paddr)),
+              Perms::readWrite());
+
+    bool done = false;
+    sys.kernel().downgradePage(proc, va, Perms::readOnly(),
+                               [&]() { done = true; });
+    sys.eventQueue().run();
+    ASSERT_TRUE(done);
+    // Full-flush path: the whole table was zeroed.
+    EXPECT_TRUE(sys.borderControl()
+                    ->table()
+                    ->getPerms(pageNumber(w.paddr))
+                    .none());
+    // The page table itself holds the new permissions.
+    WalkResult after = proc.pageTable().walk(va);
+    EXPECT_TRUE(after.perms.read);
+    EXPECT_FALSE(after.perms.write);
+    EXPECT_EQ(sys.kernel().downgradesPerformed(), 1u);
+}
+
+TEST(Downgrades, SelectiveFlushOnlyTouchesThePage)
+{
+    System sys(cfg(SafetyModel::borderControlBcc, true));
+    Process &proc = sys.kernel().createProcess();
+    Addr va1 = proc.mmap(pageSize, Perms::readWrite(), true);
+    Addr va2 = proc.mmap(pageSize, Perms::readWrite(), true);
+    WalkResult w1 = proc.pageTable().walk(va1);
+    WalkResult w2 = proc.pageTable().walk(va2);
+    sys.kernel().scheduleOnAccelerator(proc);
+    auto *bc = sys.borderControl();
+    bc->onTranslation(proc.asid(), pageNumber(va1), pageNumber(w1.paddr),
+                      Perms::readWrite(), false);
+    bc->onTranslation(proc.asid(), pageNumber(va2), pageNumber(w2.paddr),
+                      Perms::readWrite(), false);
+
+    bool done = false;
+    sys.kernel().downgradePage(proc, va1, Perms::readOnly(),
+                               [&]() { done = true; });
+    sys.eventQueue().run();
+    ASSERT_TRUE(done);
+    // §3.2.4 optimization: only the affected page's entry changes.
+    EXPECT_EQ(bc->table()->getPerms(pageNumber(w1.paddr)),
+              Perms::readOnly());
+    EXPECT_EQ(bc->table()->getPerms(pageNumber(w2.paddr)),
+              Perms::readWrite());
+}
+
+TEST(Downgrades, ReadOnlyPageDowngradeSkipsTheFlush)
+{
+    // Copy-on-write fast path: a read-only page cannot be dirty in the
+    // accelerator caches, so no flush (and no table zeroing) happens.
+    System sys(cfg());
+    Process &proc = sys.kernel().createProcess();
+    Addr va_ro = proc.mmap(pageSize, Perms::readOnly(), true);
+    Addr va_rw = proc.mmap(pageSize, Perms::readWrite(), true);
+    WalkResult w_ro = proc.pageTable().walk(va_ro);
+    WalkResult w_rw = proc.pageTable().walk(va_rw);
+    sys.kernel().scheduleOnAccelerator(proc);
+    auto *bc = sys.borderControl();
+    bc->onTranslation(proc.asid(), pageNumber(va_ro),
+                      pageNumber(w_ro.paddr), Perms::readOnly(), false);
+    bc->onTranslation(proc.asid(), pageNumber(va_rw),
+                      pageNumber(w_rw.paddr), Perms::readWrite(), false);
+
+    bool done = false;
+    sys.kernel().downgradePage(proc, va_ro, Perms::noAccess(),
+                               [&]() { done = true; });
+    sys.eventQueue().run();
+    ASSERT_TRUE(done);
+    // The unrelated writable page's entry survived: no zeroing.
+    EXPECT_EQ(bc->table()->getPerms(pageNumber(w_rw.paddr)),
+              Perms::readWrite());
+    EXPECT_TRUE(
+        bc->table()->getPerms(pageNumber(w_ro.paddr)).none());
+}
+
+TEST(Downgrades, DuringKernelExecutionRemainsCorrect)
+{
+    // Downgrade injection while a workload runs: the run completes
+    // with zero violations (the protocol quiesces, flushes, and
+    // repopulates lazily).
+    SystemConfig c = cfg();
+    c.downgradesPerSecond = 50'000; // aggressive, to hit mid-run
+    System sys(c);
+    RunResult r = sys.run("bfs");
+    EXPECT_EQ(r.violations, 0u);
+    EXPECT_GT(r.downgrades, 0u);
+}
+
+TEST(Downgrades, InjectionAddsRuntimeOverhead)
+{
+    SystemConfig quiet_cfg = cfg();
+    System baseline(quiet_cfg);
+    RunResult base = baseline.run("bfs");
+
+    SystemConfig noisy = cfg();
+    noisy.downgradesPerSecond = 100'000;
+    System stormy(noisy);
+    RunResult storm = stormy.run("bfs");
+
+    EXPECT_GT(storm.downgrades, base.downgrades);
+    EXPECT_GT(storm.runtimeTicks, base.runtimeTicks);
+}
+
+TEST(Downgrades, AtsOnlyPaysLessThanBorderControl)
+{
+    // Fig. 7: Border Control's downgrades cost roughly 2x the unsafe
+    // baseline's (cache flush + table zeroing on top of the common
+    // quiesce + shootdown).
+    auto overhead = [](SafetyModel m) {
+        SystemConfig c0 = cfg(m);
+        System s0(c0);
+        double base = s0.run("bfs").runtimeTicks;
+        SystemConfig c1 = cfg(m);
+        c1.downgradesPerSecond = 100'000;
+        System s1(c1);
+        double noisy = s1.run("bfs").runtimeTicks;
+        return noisy / base - 1.0;
+    };
+    double bc = overhead(SafetyModel::borderControlBcc);
+    double ats = overhead(SafetyModel::atsOnlyIommu);
+    EXPECT_GT(bc, 0.0);
+    EXPECT_GT(ats, 0.0);
+    EXPECT_GT(bc, ats * 0.9); // BC pays at least as much
+}
+
+TEST(Downgrades, InjectedDowngradeRestoresPermissions)
+{
+    System sys(cfg());
+    Process &proc = sys.kernel().createProcess();
+    Addr va = proc.mmap(pageSize, Perms::readWrite(), true);
+    sys.kernel().scheduleOnAccelerator(proc);
+
+    bool done = false;
+    sys.kernel().injectDowngrade(proc, [&]() { done = true; });
+    sys.eventQueue().run();
+    ASSERT_TRUE(done);
+    // The context-switch-style injection ends with the page table
+    // unchanged (permissions restored).
+    WalkResult w = proc.pageTable().walk(va);
+    ASSERT_TRUE(w.valid);
+    EXPECT_TRUE(w.perms.write);
+}
+
+TEST(Downgrades, WorkWithoutBorderControlToo)
+{
+    // The shootdown protocol also runs on the unsafe baseline (it is a
+    // TLB-coherence requirement, not a BC feature).
+    System sys(cfg(SafetyModel::atsOnlyIommu));
+    Process &proc = sys.kernel().createProcess();
+    Addr va = proc.mmap(pageSize, Perms::readWrite(), true);
+    sys.kernel().scheduleOnAccelerator(proc);
+    bool done = false;
+    sys.kernel().downgradePage(proc, va, Perms::readOnly(),
+                               [&]() { done = true; });
+    sys.eventQueue().run();
+    EXPECT_TRUE(done);
+    EXPECT_FALSE(proc.pageTable().walk(va).perms.write);
+}

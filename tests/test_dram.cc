@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Unit tests for the DRAM latency/bandwidth model and the bus.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/dram.hh"
+#include "mem/mem_bus.hh"
+
+using namespace bctrl;
+
+namespace {
+
+struct Fixture {
+    EventQueue eq;
+    BackingStore store{1 << 24};
+    Dram::Params params;
+
+    Fixture()
+    {
+        params.accessLatency = 50'000;
+        params.bytesPerSecond = 180ULL * 1000 * 1000 * 1000;
+        params.minBurstBytes = 64;
+    }
+};
+
+} // namespace
+
+TEST(Dram, SingleReadLatency)
+{
+    Fixture f;
+    Dram dram(f.eq, "mem", f.store, f.params);
+    Tick done = 0;
+    auto pkt = Packet::make(MemCmd::Read, 0x1000, 64, Requestor::cpu);
+    pkt->onResponse = [&](Packet &) { done = f.eq.curTick(); };
+    dram.access(pkt);
+    f.eq.run();
+    // transfer time for 64 B at 180 GB/s is ~355 ps, plus 50 ns.
+    EXPECT_GE(done, 50'000u);
+    EXPECT_LT(done, 51'000u);
+}
+
+TEST(Dram, WritesAckAtChannelAccept)
+{
+    Fixture f;
+    Dram dram(f.eq, "mem", f.store, f.params);
+    Tick done = 0;
+    auto pkt = Packet::make(MemCmd::Write, 0x1000, 64, Requestor::cpu);
+    pkt->onResponse = [&](Packet &) { done = f.eq.curTick(); };
+    dram.access(pkt);
+    f.eq.run();
+    EXPECT_LT(done, 1'000u); // no access latency on the ack
+}
+
+TEST(Dram, BandwidthQueuesBackToBackRequests)
+{
+    Fixture f;
+    Dram dram(f.eq, "mem", f.store, f.params);
+    std::vector<Tick> completions;
+    for (int i = 0; i < 100; ++i) {
+        auto pkt = Packet::make(MemCmd::Read, 0x1000 + i * 128, 128,
+                                Requestor::cpu);
+        pkt->onResponse = [&](Packet &) {
+            completions.push_back(f.eq.curTick());
+        };
+        dram.access(pkt);
+    }
+    f.eq.run();
+    ASSERT_EQ(completions.size(), 100u);
+    // 100 x 128 B at 180 GB/s needs ~71 ns of channel time; the last
+    // response must be at least that far out.
+    EXPECT_GT(completions.back(), completions.front());
+    const Tick channel_time = completions.back() - completions.front();
+    EXPECT_NEAR(static_cast<double>(channel_time), 99 * 128 * 5.56,
+                2'000.0);
+}
+
+TEST(Dram, ShortRequestsPayMinimumBurst)
+{
+    Fixture f;
+    Dram dram(f.eq, "mem", f.store, f.params);
+    // Two 8-byte reads: the second is delayed by a full 64 B burst.
+    Tick first = 0, second = 0;
+    auto p1 = Packet::make(MemCmd::Read, 0x0, 8, Requestor::cpu);
+    p1->onResponse = [&](Packet &) { first = f.eq.curTick(); };
+    auto p2 = Packet::make(MemCmd::Read, 0x100, 8, Requestor::cpu);
+    p2->onResponse = [&](Packet &) { second = f.eq.curTick(); };
+    dram.access(p1);
+    dram.access(p2);
+    f.eq.run();
+    EXPECT_GE(second - first, 64 * 5u); // >= one 64 B burst time
+}
+
+TEST(Dram, UtilizationAndCountersTrack)
+{
+    Fixture f;
+    Dram dram(f.eq, "mem", f.store, f.params);
+    unsigned responses = 0;
+    for (int i = 0; i < 10; ++i) {
+        auto rd = Packet::make(MemCmd::Read, i * 128, 128,
+                               Requestor::cpu);
+        rd->onResponse = [&](Packet &) { ++responses; };
+        dram.access(rd);
+        auto wb = Packet::make(MemCmd::Writeback, i * 128, 128,
+                               Requestor::cpu);
+        wb->onResponse = [&](Packet &) { ++responses; };
+        dram.access(wb);
+    }
+    f.eq.run();
+    EXPECT_EQ(responses, 20u);
+    EXPECT_EQ(dram.bytesTransferred(), 20u * 128u);
+    EXPECT_GT(dram.utilization(), 0.0);
+    EXPECT_LE(dram.utilization(), 1.0);
+}
+
+TEST(MemBus, ForwardsWithLatency)
+{
+    Fixture f;
+    Dram dram(f.eq, "mem", f.store, f.params);
+    MemBus::Params bp;
+    bp.latency = 2'000;
+    MemBus bus(f.eq, "bus", dram, bp);
+    Tick done = 0;
+    auto pkt = Packet::make(MemCmd::Read, 0x40, 64, Requestor::cpu);
+    pkt->onResponse = [&](Packet &) { done = f.eq.curTick(); };
+    bus.access(pkt);
+    f.eq.run();
+    EXPECT_GE(done, 52'000u); // bus latency + DRAM latency
+}
+
+TEST(MemBus, OptionalBandwidthLimitSerializes)
+{
+    Fixture f;
+    Dram dram(f.eq, "mem", f.store, f.params);
+    MemBus::Params bp;
+    bp.latency = 1'000;
+    bp.bytesPerSecond = 10ULL * 1000 * 1000 * 1000; // 10 GB/s
+    MemBus bus(f.eq, "bus", dram, bp);
+    std::vector<Tick> done;
+    for (int i = 0; i < 4; ++i) {
+        auto pkt = Packet::make(MemCmd::Read, i * 128, 128,
+                                Requestor::cpu);
+        pkt->onResponse = [&](Packet &) { done.push_back(f.eq.curTick()); };
+        bus.access(pkt);
+    }
+    f.eq.run();
+    ASSERT_EQ(done.size(), 4u);
+    // 128 B at 10 GB/s = 12.8 ns per packet on the bus.
+    EXPECT_GE(done.back() - done.front(), 3 * 12'000u);
+}

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Unit tests for the discrete-event queue and clock-domain helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+using namespace bctrl;
+
+namespace {
+
+class CountingEvent : public Event
+{
+  public:
+    explicit CountingEvent(std::vector<int> &log, int id,
+                           int priority = Event::defaultPriority)
+        : Event(priority), log_(log), id_(id)
+    {}
+
+    void process() override { log_.push_back(id_); }
+
+  private:
+    std::vector<int> &log_;
+    int id_;
+};
+
+} // namespace
+
+TEST(EventQueue, StartsEmptyAtTickZero)
+{
+    EventQueue eq;
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.curTick(), 0u);
+    EXPECT_FALSE(eq.step());
+}
+
+TEST(EventQueue, ProcessesEventsInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    CountingEvent a(log, 1), b(log, 2), c(log, 3);
+    eq.schedule(&b, 200);
+    eq.schedule(&a, 100);
+    eq.schedule(&c, 300);
+    eq.run();
+    EXPECT_EQ(log, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.curTick(), 300u);
+}
+
+TEST(EventQueue, EqualTickEventsRunInInsertionOrder)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    CountingEvent a(log, 1), b(log, 2), c(log, 3);
+    eq.schedule(&a, 50);
+    eq.schedule(&b, 50);
+    eq.schedule(&c, 50);
+    eq.run();
+    EXPECT_EQ(log, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, PriorityBreaksTiesBeforeInsertionOrder)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    CountingEvent low(log, 1, Event::statsPriority);
+    CountingEvent high(log, 2, Event::coherencePriority);
+    eq.schedule(&low, 10);
+    eq.schedule(&high, 10);
+    eq.run();
+    EXPECT_EQ(log, (std::vector<int>{2, 1}));
+}
+
+TEST(EventQueue, DescheduleSquashesEvent)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    CountingEvent a(log, 1), b(log, 2);
+    eq.schedule(&a, 10);
+    eq.schedule(&b, 20);
+    eq.deschedule(&a);
+    EXPECT_FALSE(a.scheduled());
+    eq.run();
+    EXPECT_EQ(log, (std::vector<int>{2}));
+}
+
+TEST(EventQueue, RescheduleMovesEvent)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    CountingEvent a(log, 1), b(log, 2);
+    eq.schedule(&a, 10);
+    eq.schedule(&b, 20);
+    eq.reschedule(&a, 30);
+    eq.run();
+    EXPECT_EQ(log, (std::vector<int>{2, 1}));
+    EXPECT_EQ(eq.curTick(), 30u);
+}
+
+TEST(EventQueue, RescheduledEventRunsExactlyOnce)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    CountingEvent a(log, 1);
+    eq.schedule(&a, 10);
+    eq.reschedule(&a, 15);
+    eq.reschedule(&a, 25);
+    eq.run();
+    EXPECT_EQ(log.size(), 1u);
+}
+
+TEST(EventQueue, LambdaEventsFireAndAreOwnedByQueue)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.scheduleLambda([&fired]() { ++fired; }, 5);
+    eq.scheduleLambda([&fired]() { ++fired; }, 7);
+    eq.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, EventsCanScheduleMoreEvents)
+{
+    EventQueue eq;
+    int depth = 0;
+    std::function<void()> chain = [&]() {
+        if (++depth < 10)
+            eq.scheduleLambda(chain, eq.curTick() + 1);
+    };
+    eq.scheduleLambda(chain, 0);
+    eq.run();
+    EXPECT_EQ(depth, 10);
+    EXPECT_EQ(eq.curTick(), 9u);
+}
+
+TEST(EventQueue, RunWithMaxTickStops)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.scheduleLambda([&]() { ++fired; }, 10);
+    eq.scheduleLambda([&]() { ++fired; }, 1000);
+    eq.run(100);
+    EXPECT_EQ(fired, 1);
+    EXPECT_FALSE(eq.empty());
+    eq.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, SchedulingInThePastPanics)
+{
+    EventQueue eq;
+    eq.scheduleLambda([]() {}, 100);
+    eq.run();
+    CountingEvent *ev = nullptr;
+    std::vector<int> log;
+    CountingEvent real(log, 1);
+    ev = &real;
+    EXPECT_DEATH(eq.schedule(ev, 50), "in the past");
+}
+
+TEST(EventQueue, EventsProcessedCountIsAccurate)
+{
+    EventQueue eq;
+    for (int i = 0; i < 25; ++i)
+        eq.scheduleLambda([]() {}, i * 3);
+    eq.run();
+    EXPECT_EQ(eq.eventsProcessed(), 25u);
+}
+
+TEST(Clocked, CyclesToTicksAndBack)
+{
+    EventQueue eq;
+    Clocked clk(eq, 1'429); // 700 MHz
+    EXPECT_EQ(clk.clockPeriod(), 1'429u);
+    EXPECT_EQ(clk.cyclesToTicks(10), 14'290u);
+    EXPECT_EQ(clk.curCycle(), 0u);
+}
+
+TEST(Clocked, NextCycleTickAlignsUp)
+{
+    EventQueue eq;
+    Clocked clk(eq, 1'000);
+    eq.scheduleLambda([]() {}, 1'500);
+    eq.run();
+    EXPECT_EQ(eq.curTick(), 1'500u);
+    EXPECT_EQ(clk.nextCycleTick(), 2'000u);
+    EXPECT_EQ(clk.clockEdge(3), 5'000u);
+}
+
+TEST(Clocked, NextCycleTickOnEdgeStaysPut)
+{
+    EventQueue eq;
+    Clocked clk(eq, 1'000);
+    eq.scheduleLambda([]() {}, 2'000);
+    eq.run();
+    EXPECT_EQ(clk.nextCycleTick(), 2'000u);
+}
+
+TEST(EventQueue, DeterministicAcrossRuns)
+{
+    auto run_once = []() {
+        EventQueue eq;
+        std::vector<int> log;
+        for (int i = 0; i < 100; ++i) {
+            eq.scheduleLambda([&log, i]() { log.push_back(i); },
+                              (i * 37) % 50);
+        }
+        eq.run();
+        return log;
+    };
+    EXPECT_EQ(run_once(), run_once());
+}

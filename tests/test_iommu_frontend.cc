@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Unit tests for the IOMMU checking front end: translation, denial,
+ * port throughput, the own-TLB (CAPI-like) variant, and shootdowns.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/dram.hh"
+#include "os/kernel.hh"
+#include "vm/iommu_frontend.hh"
+
+using namespace bctrl;
+
+namespace {
+
+struct IommuTest : public ::testing::Test {
+    EventQueue eq;
+    BackingStore store{256ULL * 1024 * 1024};
+    Dram dram{eq, "mem", store, Dram::Params{}};
+    Kernel kernel{eq, "kernel", store, Kernel::Params{}};
+    Ats ats{eq, "ats", Ats::Params{}, dram};
+
+    void
+    SetUp() override
+    {
+        ats.setKernel(&kernel);
+        kernel.attachAccelerator(nullptr, nullptr, &ats);
+    }
+
+    Process &
+    runningProcess()
+    {
+        Process &p = kernel.createProcess();
+        kernel.scheduleOnAccelerator(p);
+        return p;
+    }
+
+    PacketPtr
+    virtualPacket(Asid asid, Addr vaddr, bool write)
+    {
+        auto pkt = Packet::make(write ? MemCmd::Write : MemCmd::Read, 0,
+                                32, Requestor::accelerator, asid);
+        pkt->isVirtual = true;
+        pkt->vaddr = vaddr;
+        return pkt;
+    }
+};
+
+} // namespace
+
+TEST_F(IommuTest, TranslatesAndForwardsLegitimateRequests)
+{
+    IommuFrontend fe(eq, "iommu", IommuFrontend::Params{}, ats, dram);
+    Process &p = runningProcess();
+    Addr va = p.mmap(pageSize, Perms::readWrite(), true);
+    WalkResult w = p.pageTable().walk(va);
+
+    bool denied = true;
+    Addr seen_paddr = 0;
+    auto pkt = virtualPacket(p.asid(), va + 0x40, false);
+    pkt->onResponse = [&](Packet &r) {
+        denied = r.denied;
+        seen_paddr = r.paddr;
+    };
+    fe.access(pkt);
+    eq.run();
+    EXPECT_FALSE(denied);
+    EXPECT_EQ(seen_paddr, w.paddr + 0x40);
+    EXPECT_EQ(fe.denials(), 0u);
+}
+
+TEST_F(IommuTest, DeniesWritesToReadOnlyPages)
+{
+    IommuFrontend fe(eq, "iommu", IommuFrontend::Params{}, ats, dram);
+    Process &p = runningProcess();
+    Addr va = p.mmap(pageSize, Perms::readOnly(), true);
+
+    bool denied = false;
+    auto pkt = virtualPacket(p.asid(), va, true);
+    pkt->onResponse = [&](Packet &r) { denied = r.denied; };
+    fe.access(pkt);
+    eq.run();
+    EXPECT_TRUE(denied);
+    EXPECT_EQ(fe.denials(), 1u);
+}
+
+TEST_F(IommuTest, DeniesForeignAsids)
+{
+    IommuFrontend fe(eq, "iommu", IommuFrontend::Params{}, ats, dram);
+    runningProcess();
+    bool denied = false;
+    bool handler_called = false;
+    fe.setViolationHandler(
+        [&](const Packet &) { handler_called = true; });
+    auto pkt = virtualPacket(4242, 0x10000000, false);
+    pkt->onResponse = [&](Packet &r) { denied = r.denied; };
+    fe.access(pkt);
+    eq.run();
+    EXPECT_TRUE(denied);
+    EXPECT_TRUE(handler_called);
+}
+
+TEST_F(IommuTest, PortWidthThrottlesBursts)
+{
+    IommuFrontend::Params narrow;
+    narrow.requestsPerCycle = 1;
+    narrow.clockPeriod = 1'000;
+    IommuFrontend fe(eq, "iommu", narrow, ats, dram);
+    Process &p = runningProcess();
+    Addr va = p.mmap(pageSize, Perms::readWrite(), true);
+    // Warm the ATS L2 TLB so only the port gates throughput.
+    {
+        auto pkt = virtualPacket(p.asid(), va, false);
+        fe.access(pkt);
+        eq.run();
+    }
+    std::vector<Tick> done;
+    for (int i = 0; i < 16; ++i) {
+        auto pkt = virtualPacket(p.asid(), va + i * 32, false);
+        pkt->onResponse = [&](Packet &) { done.push_back(eq.curTick()); };
+        fe.access(pkt);
+    }
+    eq.run();
+    ASSERT_EQ(done.size(), 16u);
+    EXPECT_GE(done.back() - done.front(), 15u * 1'000u);
+}
+
+TEST_F(IommuTest, OwnTlbServesRepeatsWithoutAts)
+{
+    IommuFrontend::Params capi;
+    capi.ownTlb = true;
+    capi.requestsPerCycle = 8;
+    IommuFrontend fe(eq, "capi", capi, ats, dram);
+    Process &p = runningProcess();
+    Addr va = p.mmap(pageSize, Perms::readWrite(), true);
+
+    auto first = virtualPacket(p.asid(), va, false);
+    fe.access(first);
+    eq.run();
+    const auto ats_translations = ats.translations();
+
+    // Repeats hit the unit's own TLB: no further ATS traffic.
+    for (int i = 0; i < 8; ++i) {
+        auto pkt = virtualPacket(p.asid(), va + i * 32, false);
+        fe.access(pkt);
+    }
+    eq.run();
+    EXPECT_EQ(ats.translations(), ats_translations);
+    EXPECT_GE(fe.requests(), 9u);
+    ASSERT_NE(fe.ownTlb(), nullptr);
+    EXPECT_GE(fe.ownTlb()->hits(), 8u);
+}
+
+TEST_F(IommuTest, ShootdownInvalidatesOwnTlb)
+{
+    IommuFrontend::Params capi;
+    capi.ownTlb = true;
+    IommuFrontend fe(eq, "capi", capi, ats, dram);
+    Process &p = runningProcess();
+    Addr va = p.mmap(pageSize, Perms::readWrite(), true);
+    auto first = virtualPacket(p.asid(), va, false);
+    fe.access(first);
+    eq.run();
+    ASSERT_TRUE(fe.ownTlb()->probe(p.asid(), pageNumber(va))
+                    .has_value());
+    fe.invalidatePage(p.asid(), pageNumber(va));
+    EXPECT_FALSE(fe.ownTlb()->probe(p.asid(), pageNumber(va))
+                     .has_value());
+
+    fe.access(virtualPacket(p.asid(), va, false));
+    eq.run();
+    fe.invalidateAsid(p.asid());
+    EXPECT_FALSE(fe.ownTlb()->probe(p.asid(), pageNumber(va))
+                     .has_value());
+}
+
+TEST_F(IommuTest, RejectsPhysicalPackets)
+{
+    IommuFrontend fe(eq, "iommu", IommuFrontend::Params{}, ats, dram);
+    auto pkt =
+        Packet::make(MemCmd::Read, 0x1000, 32, Requestor::accelerator);
+    EXPECT_DEATH(fe.access(pkt), "pre-translated");
+}

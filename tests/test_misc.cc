@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Unit tests for the small shared vocabulary types: permissions,
+ * address helpers, packets, and logging formatting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/packet.hh"
+#include "sim/logging.hh"
+#include "vm/perms.hh"
+
+using namespace bctrl;
+
+TEST(Perms, CoversSemantics)
+{
+    EXPECT_TRUE(Perms::readWrite().covers(Perms::readOnly()));
+    EXPECT_TRUE(Perms::readWrite().covers(Perms{false, true}));
+    EXPECT_TRUE(Perms::readWrite().covers(Perms::noAccess()));
+    EXPECT_FALSE(Perms::readOnly().covers(Perms{false, true}));
+    EXPECT_FALSE(Perms::noAccess().covers(Perms::readOnly()));
+    EXPECT_TRUE(Perms::noAccess().covers(Perms::noAccess()));
+}
+
+TEST(Perms, UnionOperator)
+{
+    EXPECT_EQ((Perms::readOnly() | Perms{false, true}),
+              Perms::readWrite());
+    EXPECT_EQ((Perms::noAccess() | Perms::noAccess()),
+              Perms::noAccess());
+    EXPECT_EQ((Perms::readWrite() | Perms::readOnly()),
+              Perms::readWrite());
+}
+
+TEST(Perms, BitRoundTrip)
+{
+    for (std::uint8_t bits = 0; bits < 4; ++bits)
+        EXPECT_EQ(Perms::fromBits(bits).toBits(), bits);
+    EXPECT_EQ(Perms::readOnly().toBits(), 1);
+    EXPECT_EQ((Perms{false, true}).toBits(), 2);
+    EXPECT_EQ(Perms::readWrite().toBits(), 3);
+}
+
+TEST(AddrHelpers, PageArithmetic)
+{
+    EXPECT_EQ(pageAlign(0x12345), 0x12000u);
+    EXPECT_EQ(pageOffset(0x12345), 0x345u);
+    EXPECT_EQ(pageNumber(0x12345), 0x12u);
+    EXPECT_EQ(blockAlign(0x12345), 0x12300u);
+    EXPECT_EQ(roundUp(0x1001, 0x1000), 0x2000u);
+    EXPECT_EQ(roundUp(0x1000, 0x1000), 0x1000u);
+    EXPECT_EQ(pagesPerLargePage, 512u);
+}
+
+TEST(Packet, FactoryAndPredicates)
+{
+    auto rd = Packet::make(MemCmd::Read, 0x1234, 64,
+                           Requestor::accelerator, 7);
+    EXPECT_TRUE(rd->isRead());
+    EXPECT_FALSE(rd->isWrite());
+    EXPECT_EQ(rd->asid, 7);
+    EXPECT_EQ(rd->blockAddr(), 0x1200u);
+    EXPECT_EQ(rd->pageNum(), 0x1u);
+
+    auto wb = Packet::make(MemCmd::Writeback, 0x2000, 128,
+                           Requestor::cpu);
+    EXPECT_TRUE(wb->isWrite());
+    EXPECT_TRUE(wb->isWriteback());
+}
+
+TEST(Packet, ToStringMentionsEssentials)
+{
+    auto pkt = Packet::make(MemCmd::Write, 0xabcd, 32,
+                            Requestor::accelerator, 3);
+    pkt->denied = true;
+    std::string s = pkt->toString();
+    EXPECT_NE(s.find("Write"), std::string::npos);
+    EXPECT_NE(s.find("acc"), std::string::npos);
+    EXPECT_NE(s.find("abcd"), std::string::npos);
+    EXPECT_NE(s.find("DENIED"), std::string::npos);
+}
+
+TEST(Logging, FormatString)
+{
+    EXPECT_EQ(formatString("x=%d s=%s", 42, "yes"), "x=42 s=yes");
+    EXPECT_EQ(formatString("plain"), "plain");
+}
+
+TEST(Logging, VerbosityToggle)
+{
+    bool before = logVerbose();
+    setLogVerbose(false);
+    EXPECT_FALSE(logVerbose());
+    setLogVerbose(true);
+    EXPECT_TRUE(logVerbose());
+    setLogVerbose(before);
+}
+
+TEST(Types, FrequencyToPeriod)
+{
+    EXPECT_EQ(periodFromFrequency(1'000'000'000ULL), 1'000u); // 1 GHz
+    EXPECT_EQ(periodFromFrequency(700'000'000ULL), 1'428u);
+    EXPECT_EQ(periodFromFrequency(3'000'000'000ULL), 333u);
+}

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Unit tests for the four-level radix page table.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "vm/page_table.hh"
+
+using namespace bctrl;
+
+namespace {
+
+/** A trivial bump frame allocator for tests. */
+class TestAllocator : public FrameAllocator
+{
+  public:
+    explicit TestAllocator(BackingStore &store) : store_(store) {}
+
+    Addr
+    allocFrame() override
+    {
+        Addr frame = next_;
+        next_ += pageSize;
+        store_.zero(frame, pageSize);
+        ++allocated_;
+        return frame;
+    }
+
+    void freeFrame(Addr) override { ++freed_; }
+
+    unsigned allocated() const { return allocated_; }
+    unsigned freed() const { return freed_; }
+
+  private:
+    BackingStore &store_;
+    Addr next_ = 0x10000;
+    unsigned allocated_ = 0;
+    unsigned freed_ = 0;
+};
+
+struct PageTableTest : public ::testing::Test {
+    BackingStore store{1 << 26};
+    TestAllocator alloc{store};
+};
+
+} // namespace
+
+TEST_F(PageTableTest, UnmappedWalkIsInvalid)
+{
+    PageTable pt(store, alloc);
+    WalkResult r = pt.walk(0x7000'0000);
+    EXPECT_FALSE(r.valid);
+    EXPECT_GE(r.pteAddrs.size(), 1u);
+}
+
+TEST_F(PageTableTest, MapThenWalkTranslates)
+{
+    PageTable pt(store, alloc);
+    pt.map(0x4000'1000, 0x0020'0000, Perms::readWrite());
+    WalkResult r = pt.walk(0x4000'1abc);
+    ASSERT_TRUE(r.valid);
+    EXPECT_EQ(r.paddr, 0x0020'0abcu);
+    EXPECT_TRUE(r.perms.read);
+    EXPECT_TRUE(r.perms.write);
+    EXPECT_FALSE(r.largePage);
+    EXPECT_EQ(r.pteAddrs.size(), PageTable::levels);
+    EXPECT_EQ(pt.mappedPages(), 1u);
+}
+
+TEST_F(PageTableTest, ReadOnlyPermissionsSurvive)
+{
+    PageTable pt(store, alloc);
+    pt.map(0x1000, 0x5000, Perms::readOnly());
+    WalkResult r = pt.walk(0x1000);
+    ASSERT_TRUE(r.valid);
+    EXPECT_TRUE(r.perms.read);
+    EXPECT_FALSE(r.perms.write);
+}
+
+TEST_F(PageTableTest, UnmapRemovesTranslation)
+{
+    PageTable pt(store, alloc);
+    pt.map(0x1000, 0x5000, Perms::readWrite());
+    pt.unmap(0x1000);
+    EXPECT_FALSE(pt.walk(0x1000).valid);
+    EXPECT_EQ(pt.mappedPages(), 0u);
+}
+
+TEST_F(PageTableTest, ProtectChangesPermsAndReturnsOld)
+{
+    PageTable pt(store, alloc);
+    pt.map(0x1000, 0x5000, Perms::readWrite());
+    Perms old = pt.protect(0x1000, Perms::readOnly());
+    EXPECT_TRUE(old.write);
+    WalkResult r = pt.walk(0x1000);
+    EXPECT_TRUE(r.perms.read);
+    EXPECT_FALSE(r.perms.write);
+}
+
+TEST_F(PageTableTest, NeighbouringPagesAreIndependent)
+{
+    PageTable pt(store, alloc);
+    pt.map(0x1000, 0xa000, Perms::readOnly());
+    pt.map(0x2000, 0xb000, Perms::readWrite());
+    EXPECT_EQ(pt.walk(0x1000).paddr, 0xa000u);
+    EXPECT_EQ(pt.walk(0x2000).paddr, 0xb000u);
+    pt.unmap(0x1000);
+    EXPECT_TRUE(pt.walk(0x2000).valid);
+}
+
+TEST_F(PageTableTest, DistantAddressesShareNothing)
+{
+    PageTable pt(store, alloc);
+    // Same indices at lower levels, different level-0 index.
+    pt.map(0x0000'0000'1000ULL, 0xa000, Perms::readWrite());
+    pt.map(0x7f00'0000'1000ULL, 0xb000, Perms::readWrite());
+    EXPECT_EQ(pt.walk(0x0000'0000'1000ULL).paddr, 0xa000u);
+    EXPECT_EQ(pt.walk(0x7f00'0000'1000ULL).paddr, 0xb000u);
+}
+
+TEST_F(PageTableTest, LargePageMapsTwoMegabytes)
+{
+    PageTable pt(store, alloc);
+    pt.mapLarge(0x4000'0000, 0x0080'0000, Perms::readWrite());
+    WalkResult r = pt.walk(0x4000'0000 + 0x123456);
+    ASSERT_TRUE(r.valid);
+    EXPECT_TRUE(r.largePage);
+    EXPECT_EQ(r.paddr, 0x0080'0000u + 0x123456u);
+    // The walk stops a level early for large pages.
+    EXPECT_EQ(r.pteAddrs.size(), PageTable::levels - 1);
+    EXPECT_EQ(pt.mappedPages(), pagesPerLargePage);
+}
+
+TEST_F(PageTableTest, LargePageProtect)
+{
+    PageTable pt(store, alloc);
+    pt.mapLarge(0x4000'0000, 0x0080'0000, Perms::readWrite());
+    pt.protect(0x4000'0000 + 0x5000, Perms::readOnly());
+    WalkResult r = pt.walk(0x4000'0000);
+    EXPECT_FALSE(r.perms.write);
+}
+
+TEST_F(PageTableTest, TableNodesLiveInSimulatedMemory)
+{
+    PageTable pt(store, alloc);
+    unsigned before = alloc.allocated();
+    pt.map(0x1000, 0x5000, Perms::readWrite());
+    // Mapping the first page materializes three intermediate levels.
+    EXPECT_EQ(alloc.allocated() - before, 3u);
+    // A second mapping in the same region reuses them.
+    before = alloc.allocated();
+    pt.map(0x2000, 0x6000, Perms::readWrite());
+    EXPECT_EQ(alloc.allocated() - before, 0u);
+}
+
+TEST_F(PageTableTest, DestructorReturnsFrames)
+{
+    unsigned freed_before = alloc.freed();
+    {
+        PageTable pt(store, alloc);
+        pt.map(0x1000, 0x5000, Perms::readWrite());
+    }
+    EXPECT_GE(alloc.freed() - freed_before, 4u); // root + 3 levels
+}
+
+TEST_F(PageTableTest, WalkRecordsDependentPteChain)
+{
+    PageTable pt(store, alloc);
+    pt.map(0x12345000, 0x7000, Perms::readOnly());
+    WalkResult r = pt.walk(0x12345000);
+    ASSERT_EQ(r.pteAddrs.size(), 4u);
+    // Every recorded PTE must itself contain a valid entry.
+    for (Addr pte_addr : r.pteAddrs)
+        EXPECT_TRUE(store.read64(pte_addr) & PageTable::pteValid);
+}
+
+TEST_F(PageTableTest, ManyMappingsStressRadix)
+{
+    PageTable pt(store, alloc);
+    for (Addr i = 0; i < 512; ++i)
+        pt.map(0x1000'0000 + i * pageSize, 0x40'0000 + i * pageSize,
+               (i % 3 == 0) ? Perms::readOnly() : Perms::readWrite());
+    EXPECT_EQ(pt.mappedPages(), 512u);
+    for (Addr i = 0; i < 512; ++i) {
+        WalkResult r = pt.walk(0x1000'0000 + i * pageSize);
+        ASSERT_TRUE(r.valid);
+        EXPECT_EQ(r.paddr, 0x40'0000 + i * pageSize);
+        EXPECT_EQ(r.perms.write, i % 3 != 0);
+    }
+}

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Unit tests for the OS model: processes, demand paging, frame
+ * management, accelerator scheduling (Fig. 3a/3e), and violation
+ * bookkeeping.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bc/border_control.hh"
+#include "mem/dram.hh"
+#include "os/kernel.hh"
+
+using namespace bctrl;
+
+namespace {
+
+struct KernelTest : public ::testing::Test {
+    EventQueue eq;
+    BackingStore store{256ULL * 1024 * 1024};
+    Kernel kernel{eq, "kernel", store, Kernel::Params{}};
+};
+
+} // namespace
+
+TEST_F(KernelTest, CreateProcessAssignsUniqueAsids)
+{
+    Process &a = kernel.createProcess();
+    Process &b = kernel.createProcess();
+    EXPECT_NE(a.asid(), b.asid());
+    EXPECT_EQ(kernel.findProcess(a.asid()), &a);
+    EXPECT_EQ(kernel.findProcess(b.asid()), &b);
+    EXPECT_EQ(kernel.findProcess(9999), nullptr);
+}
+
+TEST_F(KernelTest, MmapReservesButDoesNotMap)
+{
+    Process &p = kernel.createProcess();
+    Addr va = p.mmap(64 * 1024, Perms::readWrite());
+    EXPECT_NE(va, 0u);
+    EXPECT_FALSE(p.pageTable().walk(va).valid);
+    ASSERT_NE(p.findVma(va), nullptr);
+    EXPECT_EQ(p.findVma(va + 64 * 1024), nullptr);
+}
+
+TEST_F(KernelTest, PopulatedMmapMapsEagerly)
+{
+    Process &p = kernel.createProcess();
+    Addr va = p.mmap(16 * 1024, Perms::readWrite(), true);
+    for (Addr off = 0; off < 16 * 1024; off += pageSize)
+        EXPECT_TRUE(p.pageTable().walk(va + off).valid);
+}
+
+TEST_F(KernelTest, DemandFaultMapsOnePage)
+{
+    Process &p = kernel.createProcess();
+    Addr va = p.mmap(64 * 1024, Perms::readWrite());
+    EXPECT_TRUE(p.handleFault(va + 0x2345, true));
+    WalkResult r = p.pageTable().walk(va + 0x2000);
+    EXPECT_TRUE(r.valid);
+    EXPECT_TRUE(r.perms.write);
+    EXPECT_FALSE(p.pageTable().walk(va + 0x4000).valid);
+    EXPECT_EQ(p.faultsServiced(), 1u);
+}
+
+TEST_F(KernelTest, FaultOutsideAnyVmaFails)
+{
+    Process &p = kernel.createProcess();
+    EXPECT_FALSE(p.handleFault(0xdead0000, false));
+}
+
+TEST_F(KernelTest, WriteFaultOnReadOnlyRegionFails)
+{
+    Process &p = kernel.createProcess();
+    Addr va = p.mmap(pageSize, Perms::readOnly());
+    EXPECT_FALSE(p.handleFault(va, true));
+    EXPECT_TRUE(p.handleFault(va, false));
+}
+
+TEST_F(KernelTest, LargePageRegionMapsTwoMegabytes)
+{
+    Process &p = kernel.createProcess();
+    Addr va = p.mmap(largePageSize, Perms::readWrite(), false, true);
+    EXPECT_TRUE(p.handleFault(va + 0x12345, true));
+    WalkResult r = p.pageTable().walk(va + largePageSize - 1);
+    EXPECT_TRUE(r.valid);
+    EXPECT_TRUE(r.largePage);
+}
+
+TEST_F(KernelTest, ProtectRangeDowngradesWholeVma)
+{
+    Process &p = kernel.createProcess();
+    Addr va = p.mmap(2 * pageSize, Perms::readWrite(), true);
+    p.protectRange(va, 2 * pageSize, Perms::readOnly());
+    EXPECT_FALSE(p.pageTable().walk(va).perms.write);
+    EXPECT_FALSE(p.pageTable().walk(va + pageSize).perms.write);
+    EXPECT_FALSE(p.findVma(va)->perms.write);
+}
+
+TEST_F(KernelTest, ProtectPageLeavesVmaAlone)
+{
+    Process &p = kernel.createProcess();
+    Addr va = p.mmap(2 * pageSize, Perms::readWrite(), true);
+    Perms old = p.protectPage(va, Perms::readOnly());
+    EXPECT_TRUE(old.write);
+    EXPECT_FALSE(p.pageTable().walk(va).perms.write);
+    EXPECT_TRUE(p.pageTable().walk(va + pageSize).perms.write);
+    EXPECT_TRUE(p.findVma(va)->perms.write);
+}
+
+TEST_F(KernelTest, UnmapRangeFreesFrames)
+{
+    Process &p = kernel.createProcess();
+    Addr va = p.mmap(4 * pageSize, Perms::readWrite(), true);
+    p.unmapRange(va, 4 * pageSize);
+    EXPECT_FALSE(p.pageTable().walk(va).valid);
+    EXPECT_EQ(p.findVma(va), nullptr);
+}
+
+TEST_F(KernelTest, FreedFramesAreReusedZeroed)
+{
+    Addr f1 = kernel.allocFrame();
+    store.write64(f1, 0x1234);
+    kernel.freeFrame(f1);
+    Addr f2 = kernel.allocFrame();
+    EXPECT_EQ(f2, f1);
+    EXPECT_EQ(store.read64(f2), 0u);
+}
+
+TEST_F(KernelTest, ContiguousAllocationIsPageAlignedAndZeroed)
+{
+    Addr base = kernel.allocContiguous(3 * pageSize + 5);
+    EXPECT_EQ(pageOffset(base), 0u);
+    EXPECT_EQ(store.read64(base), 0u);
+    Addr next = kernel.allocFrame();
+    EXPECT_GE(next, base + 4 * pageSize);
+}
+
+namespace {
+
+struct BcFixture : public KernelTest {
+    Dram dram{eq, "mem", store, Dram::Params{}};
+    BorderControl bc{eq, "bc", BorderControl::Params{}, dram};
+
+    void
+    SetUp() override
+    {
+        kernel.attachAccelerator(nullptr, &bc, nullptr);
+    }
+};
+
+} // namespace
+
+TEST_F(BcFixture, SchedulingFirstProcessSetsUpTable)
+{
+    Process &p = kernel.createProcess();
+    EXPECT_EQ(bc.table(), nullptr);
+    kernel.scheduleOnAccelerator(p);
+    ASSERT_NE(bc.table(), nullptr);
+    EXPECT_EQ(bc.useCount(), 1u);
+    EXPECT_TRUE(kernel.accelRunning(p.asid()));
+    // Fig. 3a: the table covers all of physical memory and is zeroed.
+    EXPECT_EQ(bc.table()->boundPpns(), store.numPages());
+    EXPECT_TRUE(bc.table()->getPerms(0).none());
+}
+
+TEST_F(BcFixture, SecondProcessSharesTheTable)
+{
+    Process &a = kernel.createProcess();
+    Process &b = kernel.createProcess();
+    kernel.scheduleOnAccelerator(a);
+    ProtectionTable *table = bc.table();
+    kernel.scheduleOnAccelerator(b);
+    EXPECT_EQ(bc.table(), table);
+    EXPECT_EQ(bc.useCount(), 2u);
+}
+
+TEST_F(BcFixture, ReleaseLastProcessTearsDownTable)
+{
+    Process &p = kernel.createProcess();
+    kernel.scheduleOnAccelerator(p);
+    bc.onTranslation(p.asid(), 0x10, 50, Perms::readWrite(), false);
+    bool released = false;
+    kernel.releaseAccelerator(p, [&]() { released = true; });
+    eq.run();
+    EXPECT_TRUE(released);
+    EXPECT_FALSE(kernel.accelRunning(p.asid()));
+    EXPECT_EQ(bc.table(), nullptr);
+    EXPECT_EQ(bc.useCount(), 0u);
+}
+
+TEST_F(BcFixture, ReleaseWithRemainingProcessKeepsTable)
+{
+    Process &a = kernel.createProcess();
+    Process &b = kernel.createProcess();
+    kernel.scheduleOnAccelerator(a);
+    kernel.scheduleOnAccelerator(b);
+    bool released = false;
+    kernel.releaseAccelerator(a, [&]() { released = true; });
+    eq.run();
+    EXPECT_TRUE(released);
+    EXPECT_NE(bc.table(), nullptr);
+    EXPECT_EQ(bc.useCount(), 1u);
+    EXPECT_TRUE(kernel.accelRunning(b.asid()));
+}
+
+TEST_F(BcFixture, ViolationsAreRecorded)
+{
+    Packet pkt;
+    pkt.paddr = 0xbad000;
+    pkt.cmd = MemCmd::Write;
+    kernel.onViolation(pkt);
+    ASSERT_EQ(kernel.violations().size(), 1u);
+    EXPECT_EQ(kernel.violations()[0].paddr, 0xbad000u);
+    EXPECT_TRUE(kernel.violations()[0].wasWrite);
+}
+
+TEST_F(BcFixture, PageFaultServiceGoesThroughProcess)
+{
+    Process &p = kernel.createProcess();
+    Addr va = p.mmap(pageSize, Perms::readWrite());
+    EXPECT_TRUE(kernel.handlePageFault(p.asid(), va, true));
+    EXPECT_FALSE(kernel.handlePageFault(999, va, true));
+}
+
+TEST_F(BcFixture, DestroySceduledProcessPanics)
+{
+    Process &p = kernel.createProcess();
+    kernel.scheduleOnAccelerator(p);
+    EXPECT_DEATH(kernel.destroyProcess(p), "still scheduled");
+}

@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Property-based tests of Border Control's safety invariants under
+ * randomized operation sequences, parameterized over seeds (TEST_P).
+ *
+ * The central invariant (paper §3.2.1): "no page ever has read or
+ * write permission in the Protection Table if it does not have it
+ * according to the process page table" — checked after every step of
+ * random map / protect / unmap / translate / downgrade interleavings.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "bc/border_control.hh"
+#include "mem/dram.hh"
+#include "os/kernel.hh"
+#include "sim/random.hh"
+
+using namespace bctrl;
+
+namespace {
+
+struct Harness {
+    EventQueue eq;
+    BackingStore store{256ULL * 1024 * 1024};
+    Dram dram{eq, "mem", store, Dram::Params{}};
+    Kernel kernel{eq, "kernel", store, Kernel::Params{}};
+    BorderControl bc{eq, "bc", BorderControl::Params{}, dram};
+    ProtectionTable table{store, 0x4000, store.numPages()};
+
+    Harness()
+    {
+        bc.attachTable(&table);
+        bc.incrUseCount();
+        // Border Control is driven directly by the harness (the
+        // kernel would otherwise allocate its own table on schedule).
+        kernel.attachAccelerator(nullptr, nullptr, nullptr);
+    }
+};
+
+/** Union of page-table permissions for @p ppn across all processes. */
+Perms
+pageTableUnion(const std::vector<Process *> &procs,
+               const std::map<std::pair<Asid, Addr>, Addr> &vpn_to_ppn,
+               Addr ppn)
+{
+    Perms u;
+    for (Process *proc : procs) {
+        for (const auto &[key, mapped_ppn] : vpn_to_ppn) {
+            if (key.first != proc->asid() || mapped_ppn != ppn)
+                continue;
+            WalkResult w =
+                proc->pageTable().walk(key.second << pageShift);
+            if (w.valid)
+                u = u | w.perms;
+        }
+    }
+    return u;
+}
+
+} // namespace
+
+class ProtectionInvariantTest
+    : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(ProtectionInvariantTest, TableNeverExceedsPageTable)
+{
+    Harness h;
+    Random rng(GetParam());
+
+    std::vector<Process *> procs;
+    for (int i = 0; i < 2; ++i) {
+        Process &p = h.kernel.createProcess();
+        h.kernel.scheduleOnAccelerator(p);
+        procs.push_back(&p);
+    }
+
+    // Bookkeeping of live mappings: (asid, vpn) -> ppn.
+    std::map<std::pair<Asid, Addr>, Addr> mappings;
+    // Every PPN we ever inserted into the Protection Table.
+    std::set<Addr> touched_ppns;
+
+    auto check_invariant = [&]() {
+        for (Addr ppn : touched_ppns) {
+            Perms table_perms = h.table.getPerms(ppn);
+            Perms allowed = pageTableUnion(procs, mappings, ppn);
+            // The table may lag behind (fewer permissions are always
+            // safe) but must never exceed the page tables' union.
+            EXPECT_TRUE(allowed.covers(table_perms))
+                << "PPN " << ppn << " table R" << table_perms.read
+                << "W" << table_perms.write << " page-table R"
+                << allowed.read << "W" << allowed.write;
+        }
+    };
+
+    for (int step = 0; step < 400; ++step) {
+        Process &proc = *procs[rng.nextBounded(procs.size())];
+        const Addr vpn = 0x10000 + rng.nextBounded(32);
+        const auto key = std::make_pair(proc.asid(), vpn);
+        const unsigned op = static_cast<unsigned>(rng.nextBounded(5));
+
+        switch (op) {
+          case 0: { // map a fresh page
+            if (mappings.count(key))
+                break;
+            Addr frame = h.kernel.allocFrame();
+            Perms perms = rng.nextBool(0.5) ? Perms::readWrite()
+                                            : Perms::readOnly();
+            proc.pageTable().map(vpn << pageShift, frame, perms);
+            mappings[key] = pageNumber(frame);
+            break;
+          }
+          case 1: { // ATS translation: lazy table insertion
+            if (!mappings.count(key))
+                break;
+            WalkResult w = proc.pageTable().walk(vpn << pageShift);
+            if (!w.valid)
+                break;
+            h.bc.onTranslation(proc.asid(), vpn,
+                               pageNumber(w.paddr), w.perms, false);
+            touched_ppns.insert(pageNumber(w.paddr));
+            break;
+          }
+          case 2: { // permission downgrade with the BC protocol
+            if (!mappings.count(key))
+                break;
+            WalkResult w = proc.pageTable().walk(vpn << pageShift);
+            if (!w.valid)
+                break;
+            proc.pageTable().protect(vpn << pageShift,
+                                     Perms::readOnly());
+            // Mirror the kernel's downgrade path (no accelerator in
+            // this harness, so the flush is vacuous).
+            h.bc.downgradePage(pageNumber(w.paddr), Perms::readOnly());
+            break;
+          }
+          case 3: { // unmap + revoke
+            if (!mappings.count(key))
+                break;
+            WalkResult w = proc.pageTable().walk(vpn << pageShift);
+            proc.pageTable().unmap(vpn << pageShift);
+            if (w.valid)
+                h.bc.downgradePage(pageNumber(w.paddr),
+                                   Perms::noAccess());
+            mappings.erase(key);
+            break;
+          }
+          case 4: { // full zero (context switch style)
+            if (rng.nextBool(0.05))
+                h.bc.zeroTableAndInvalidate();
+            break;
+          }
+        }
+        h.eq.run();
+        check_invariant();
+    }
+}
+
+TEST_P(ProtectionInvariantTest, BccAlwaysConsistentWithTable)
+{
+    // The BCC is write-through: a resident entry must always agree
+    // with the Protection Table it caches.
+    Harness h;
+    Random rng(GetParam() ^ 0xbccbcc);
+    BorderControlCache::Params bp;
+    bp.entries = 4;
+    bp.pagesPerEntry = 8;
+    BorderControlCache bcc(bp);
+
+    std::set<Addr> seen;
+    for (int step = 0; step < 2000; ++step) {
+        const Addr ppn = rng.nextBounded(256);
+        switch (rng.nextBounded(4)) {
+          case 0:
+            bcc.fill(ppn, h.table);
+            break;
+          case 1: {
+            Perms p = Perms::fromBits(
+                static_cast<std::uint8_t>(rng.nextBounded(4)));
+            h.table.setPerms(ppn, p);
+            bcc.update(ppn, p); // write-through contract
+            break;
+          }
+          case 2:
+            bcc.invalidatePage(ppn);
+            break;
+          case 3:
+            if (rng.nextBool(0.02)) {
+                h.table.zeroAll();
+                bcc.invalidateAll();
+            }
+            break;
+        }
+        seen.insert(ppn);
+        for (Addr p : seen) {
+            auto cached = bcc.probe(p);
+            if (cached.has_value()) {
+                EXPECT_EQ(*cached, h.table.getPerms(p))
+                    << "PPN " << p << " step " << step;
+            }
+        }
+    }
+}
+
+TEST_P(ProtectionInvariantTest, RandomRogueRequestsAlwaysDenied)
+{
+    // Any physical address whose translation was never delivered by
+    // the ATS must be denied, whatever the address pattern.
+    Harness h;
+    Random rng(GetParam() ^ 0xa77ac4);
+    Process &p = h.kernel.createProcess();
+    h.kernel.scheduleOnAccelerator(p);
+
+    // Grant exactly one page.
+    Addr va = p.mmap(pageSize, Perms::readWrite(), true);
+    WalkResult w = p.pageTable().walk(va);
+    const Addr granted_ppn = pageNumber(w.paddr);
+    h.bc.onTranslation(p.asid(), pageNumber(va), granted_ppn,
+                       Perms::readWrite(), false);
+
+    for (int i = 0; i < 200; ++i) {
+        const Addr ppn = rng.nextBounded(h.store.numPages());
+        bool denied = false;
+        bool responded = false;
+        auto pkt = Packet::make(
+            rng.nextBool(0.5) ? MemCmd::Read : MemCmd::Write,
+            (ppn << pageShift) | rng.nextBounded(pageSize / 64) * 64,
+            64, Requestor::accelerator);
+        pkt->onResponse = [&](Packet &r) {
+            responded = true;
+            denied = r.denied;
+        };
+        h.bc.access(pkt);
+        h.eq.run();
+        ASSERT_TRUE(responded);
+        EXPECT_EQ(denied, ppn != granted_ppn)
+            << "ppn " << ppn << " granted " << granted_ppn;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProtectionInvariantTest,
+                         ::testing::Values(1u, 2u, 3u, 17u, 42u, 1234u,
+                                           0xdeadbeefu));

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Unit tests for the Protection Table: 2-bit-per-page encoding, lazy
+ * merge semantics, zeroing, bounds, and the paper's storage-overhead
+ * claims (§3.1.1, §5.2.3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "bc/protection_table.hh"
+
+using namespace bctrl;
+
+namespace {
+
+struct ProtectionTableTest : public ::testing::Test {
+    BackingStore store{64ULL * 1024 * 1024}; // 64 MB => 16384 pages
+    Addr base = 0x100000;
+};
+
+} // namespace
+
+TEST_F(ProtectionTableTest, StartsWithNoPermissions)
+{
+    ProtectionTable table(store, base, store.numPages());
+    for (Addr ppn : {Addr(0), Addr(1), Addr(100), Addr(16383)})
+        EXPECT_TRUE(table.getPerms(ppn).none());
+}
+
+TEST_F(ProtectionTableTest, SetAndGetAllFourEncodings)
+{
+    ProtectionTable table(store, base, store.numPages());
+    table.setPerms(10, Perms::noAccess());
+    table.setPerms(11, Perms::readOnly());
+    table.setPerms(12, Perms{false, true});
+    table.setPerms(13, Perms::readWrite());
+    EXPECT_TRUE(table.getPerms(10).none());
+    EXPECT_EQ(table.getPerms(11), Perms::readOnly());
+    EXPECT_EQ(table.getPerms(12), (Perms{false, true}));
+    EXPECT_EQ(table.getPerms(13), Perms::readWrite());
+}
+
+TEST_F(ProtectionTableTest, NeighboursInSameByteAreIndependent)
+{
+    ProtectionTable table(store, base, store.numPages());
+    // PPNs 0..3 share one byte (2 bits each).
+    table.setPerms(0, Perms::readWrite());
+    table.setPerms(1, Perms::readOnly());
+    table.setPerms(2, Perms::noAccess());
+    table.setPerms(3, Perms::readWrite());
+    EXPECT_EQ(table.getPerms(0), Perms::readWrite());
+    EXPECT_EQ(table.getPerms(1), Perms::readOnly());
+    EXPECT_TRUE(table.getPerms(2).none());
+    EXPECT_EQ(table.getPerms(3), Perms::readWrite());
+    // Overwriting one neighbour leaves the others alone.
+    table.setPerms(1, Perms::noAccess());
+    EXPECT_EQ(table.getPerms(0), Perms::readWrite());
+    EXPECT_EQ(table.getPerms(3), Perms::readWrite());
+}
+
+TEST_F(ProtectionTableTest, MergeIsUnion)
+{
+    ProtectionTable table(store, base, store.numPages());
+    EXPECT_EQ(table.mergePerms(5, Perms::readOnly()), Perms::readOnly());
+    // A second process with write-only access: union accumulates
+    // (multiprocess accelerators, §3.3).
+    EXPECT_EQ(table.mergePerms(5, Perms{false, true}),
+              Perms::readWrite());
+    // Merging fewer permissions never removes any.
+    EXPECT_EQ(table.mergePerms(5, Perms::noAccess()),
+              Perms::readWrite());
+}
+
+TEST_F(ProtectionTableTest, ZeroAllRevokesEverything)
+{
+    ProtectionTable table(store, base, store.numPages());
+    for (Addr ppn = 0; ppn < 64; ++ppn)
+        table.setPerms(ppn, Perms::readWrite());
+    table.zeroAll();
+    for (Addr ppn = 0; ppn < 64; ++ppn)
+        EXPECT_TRUE(table.getPerms(ppn).none());
+}
+
+TEST_F(ProtectionTableTest, SizeMatchesTwoBitsPerPage)
+{
+    ProtectionTable table(store, base, store.numPages());
+    EXPECT_EQ(table.sizeBytes(), store.numPages() / 4);
+}
+
+TEST_F(ProtectionTableTest, PaperStorageOverheadFigures)
+{
+    // §3.1.1: ~0.006% of the physical address space per accelerator.
+    ProtectionTable table(store, base, store.numPages());
+    EXPECT_NEAR(table.overheadFraction(), 0.00006103, 1e-7);
+
+    // A 16 GB system needs a 1 MB table (paper's example)...
+    const Addr ppns_16gb = (16ULL << 30) >> pageShift;
+    BackingStore big(1 << 20);
+    ProtectionTable sized(big, 0, std::min<Addr>(ppns_16gb, 4 << 20));
+    EXPECT_EQ(sized.sizeBytes(), 1ULL << 20);
+}
+
+TEST_F(ProtectionTableTest, Table3SizeFor3GbSystem)
+{
+    // Table 3 lists a 196 KB Protection Table: 3 GB of physical memory
+    // at 2 bits per 4 KB page = 196,608 bytes.
+    const Addr ppns = (3ULL << 30) >> pageShift;
+    BackingStore mem(1 << 20);
+    ProtectionTable table(mem, 0, ppns);
+    EXPECT_EQ(table.sizeBytes(), 196'608u);
+}
+
+TEST_F(ProtectionTableTest, EntryAddrMapsFourPagesPerByte)
+{
+    ProtectionTable table(store, base, store.numPages());
+    EXPECT_EQ(table.entryAddr(0), base);
+    EXPECT_EQ(table.entryAddr(3), base);
+    EXPECT_EQ(table.entryAddr(4), base + 1);
+    EXPECT_EQ(table.entryAddr(4095), base + 1023);
+}
+
+TEST_F(ProtectionTableTest, BoundsRegisterChecks)
+{
+    ProtectionTable table(store, base, 100);
+    EXPECT_TRUE(table.inBounds(99));
+    EXPECT_FALSE(table.inBounds(100));
+    EXPECT_DEATH(table.getPerms(100), "out of");
+    EXPECT_DEATH(table.setPerms(200, Perms::readWrite()), "out of");
+}
+
+TEST_F(ProtectionTableTest, TableLivesInSimulatedMemory)
+{
+    ProtectionTable table(store, base, store.numPages());
+    table.setPerms(0, Perms::readWrite());
+    // The bits are observable at the table's physical address: a
+    // (trusted) agent reading memory sees them.
+    EXPECT_EQ(store.read8(base) & 0x3, 0x3);
+}

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Unit tests for the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/random.hh"
+
+using namespace bctrl;
+
+TEST(Random, DeterministicForSameSeed)
+{
+    Random a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Random, DifferentSeedsDiverge)
+{
+    Random a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_LT(same, 5);
+}
+
+TEST(Random, BoundedStaysInRange)
+{
+    Random r(7);
+    for (int i = 0; i < 10000; ++i) {
+        EXPECT_LT(r.nextBounded(17), 17u);
+        auto v = r.nextRange(5, 9);
+        EXPECT_GE(v, 5u);
+        EXPECT_LE(v, 9u);
+    }
+}
+
+TEST(Random, BoundedOneAlwaysZero)
+{
+    Random r(3);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(r.nextBounded(1), 0u);
+}
+
+TEST(Random, DoubleInUnitInterval)
+{
+    Random r(11);
+    for (int i = 0; i < 10000; ++i) {
+        double d = r.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Random, BernoulliRoughlyCalibrated)
+{
+    Random r(13);
+    int heads = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        if (r.nextBool(0.3))
+            ++heads;
+    }
+    EXPECT_NEAR(heads / double(n), 0.3, 0.02);
+}
+
+TEST(Random, BernoulliExtremes)
+{
+    Random r(17);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.nextBool(0.0));
+        EXPECT_TRUE(r.nextBool(1.0));
+    }
+}
+
+TEST(Random, GeometricRespectsCap)
+{
+    Random r(19);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LE(r.nextGeometric(0.01, 40), 40u);
+    EXPECT_EQ(r.nextGeometric(1.0, 40), 0u);
+    EXPECT_EQ(r.nextGeometric(0.0, 40), 40u);
+}
+
+TEST(Random, BoundedIsRoughlyUniform)
+{
+    Random r(23);
+    const unsigned buckets = 8;
+    unsigned counts[buckets] = {0};
+    const int n = 80000;
+    for (int i = 0; i < n; ++i)
+        ++counts[r.nextBounded(buckets)];
+    for (unsigned b = 0; b < buckets; ++b)
+        EXPECT_NEAR(counts[b] / double(n), 1.0 / buckets, 0.01);
+}

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Unit tests for the statistics framework.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/stats.hh"
+
+using namespace bctrl::stats;
+
+TEST(Stats, ScalarAccumulates)
+{
+    StatGroup g("test");
+    Scalar &s = g.scalar("count", "a counter");
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+    ++s;
+    s += 4.5;
+    EXPECT_DOUBLE_EQ(s.value(), 5.5);
+    s = 2.0;
+    EXPECT_DOUBLE_EQ(s.value(), 2.0);
+}
+
+TEST(Stats, ScalarReset)
+{
+    StatGroup g("test");
+    Scalar &s = g.scalar("count", "a counter");
+    s += 10;
+    g.reset();
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+}
+
+TEST(Stats, DistributionTracksMoments)
+{
+    StatGroup g("test");
+    Distribution &d = g.distribution("lat", "latencies");
+    d.sample(10);
+    d.sample(20);
+    d.sample(30);
+    EXPECT_EQ(d.count(), 3u);
+    EXPECT_DOUBLE_EQ(d.mean(), 20.0);
+    EXPECT_DOUBLE_EQ(d.min(), 10.0);
+    EXPECT_DOUBLE_EQ(d.max(), 30.0);
+    EXPECT_DOUBLE_EQ(d.sum(), 60.0);
+}
+
+TEST(Stats, DistributionWeightedSamples)
+{
+    StatGroup g("test");
+    Distribution &d = g.distribution("lat", "latencies");
+    d.sample(5, 4);
+    EXPECT_EQ(d.count(), 4u);
+    EXPECT_DOUBLE_EQ(d.mean(), 5.0);
+}
+
+TEST(Stats, EmptyDistributionIsZero)
+{
+    StatGroup g("test");
+    Distribution &d = g.distribution("lat", "latencies");
+    EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(d.min(), 0.0);
+    EXPECT_DOUBLE_EQ(d.max(), 0.0);
+}
+
+TEST(Stats, FormulaEvaluatesOnDemand)
+{
+    StatGroup g("test");
+    Scalar &hits = g.scalar("hits", "hits");
+    Scalar &misses = g.scalar("misses", "misses");
+    Formula &ratio =
+        g.formula("missRatio", "miss ratio", [&]() {
+            double total = hits.value() + misses.value();
+            return total == 0 ? 0.0 : misses.value() / total;
+        });
+    EXPECT_DOUBLE_EQ(ratio.value(), 0.0);
+    hits += 3;
+    misses += 1;
+    EXPECT_DOUBLE_EQ(ratio.value(), 0.25);
+}
+
+TEST(Stats, FindLocatesByFullName)
+{
+    StatGroup g("unit");
+    g.scalar("alpha", "first");
+    const Stat *found = g.find("unit.alpha");
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(found->desc(), "first");
+    EXPECT_EQ(g.find("unit.beta"), nullptr);
+}
+
+TEST(Stats, FindRecursesIntoChildren)
+{
+    StatGroup parent("sys");
+    StatGroup child("sys.cache");
+    child.scalar("hits", "cache hits");
+    parent.addChild(&child);
+    EXPECT_NE(parent.find("sys.cache.hits"), nullptr);
+}
+
+TEST(Stats, PrintProducesOneLinePerScalar)
+{
+    StatGroup g("p");
+    g.scalar("a", "one") += 1;
+    g.scalar("b", "two") += 2;
+    std::ostringstream os;
+    g.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("p.a"), std::string::npos);
+    EXPECT_NE(out.find("p.b"), std::string::npos);
+    EXPECT_NE(out.find("# one"), std::string::npos);
+}
+
+TEST(Stats, ResetRecursesIntoChildren)
+{
+    StatGroup parent("sys");
+    StatGroup child("sys.x");
+    Scalar &s = child.scalar("v", "value");
+    parent.addChild(&child);
+    s += 9;
+    parent.reset();
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+}

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Unit tests for the set-associative, ASID-tagged TLB, including a
+ * parameterized sweep over associativities.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.hh"
+#include "vm/tlb.hh"
+
+using namespace bctrl;
+
+namespace {
+
+TlbEntry
+entry(Asid asid, Addr vpn, Addr ppn, Perms perms = Perms::readWrite(),
+      bool large = false)
+{
+    TlbEntry e;
+    e.asid = asid;
+    e.vpn = vpn;
+    e.ppn = ppn;
+    e.perms = perms;
+    e.largePage = large;
+    return e;
+}
+
+} // namespace
+
+TEST(Tlb, MissOnEmpty)
+{
+    EventQueue eq;
+    Tlb tlb(eq, "tlb", Tlb::Params{16, 0});
+    EXPECT_FALSE(tlb.lookup(1, 0x100).has_value());
+    EXPECT_EQ(tlb.misses(), 1u);
+}
+
+TEST(Tlb, InsertThenHit)
+{
+    EventQueue eq;
+    Tlb tlb(eq, "tlb", Tlb::Params{16, 0});
+    tlb.insert(entry(1, 0x100, 0x8200));
+    auto hit = tlb.lookup(1, 0x100);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->ppn, 0x8200u);
+    EXPECT_EQ(tlb.hits(), 1u);
+}
+
+TEST(Tlb, AsidsAreIsolated)
+{
+    EventQueue eq;
+    Tlb tlb(eq, "tlb", Tlb::Params{16, 0});
+    tlb.insert(entry(1, 0x100, 0xaaaa));
+    tlb.insert(entry(2, 0x100, 0xbbbb));
+    EXPECT_EQ(tlb.lookup(1, 0x100)->ppn, 0xaaaau);
+    EXPECT_EQ(tlb.lookup(2, 0x100)->ppn, 0xbbbbu);
+    EXPECT_FALSE(tlb.lookup(3, 0x100).has_value());
+}
+
+TEST(Tlb, ReinsertRefreshesInPlace)
+{
+    EventQueue eq;
+    Tlb tlb(eq, "tlb", Tlb::Params{4, 0});
+    tlb.insert(entry(1, 0x100, 0x1, Perms::readOnly()));
+    tlb.insert(entry(1, 0x100, 0x1, Perms::readWrite()));
+    auto hit = tlb.probe(1, 0x100);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_TRUE(hit->perms.write);
+}
+
+TEST(Tlb, LruEvictionInFullyAssociative)
+{
+    EventQueue eq;
+    Tlb tlb(eq, "tlb", Tlb::Params{4, 0});
+    for (Addr v = 0; v < 4; ++v)
+        tlb.insert(entry(1, v, v + 100));
+    tlb.lookup(1, 0); // make vpn 0 recently used
+    tlb.insert(entry(1, 10, 110));
+    EXPECT_TRUE(tlb.probe(1, 0).has_value());  // MRU survives
+    EXPECT_FALSE(tlb.probe(1, 1).has_value()); // LRU evicted
+}
+
+TEST(Tlb, InvalidatePage)
+{
+    EventQueue eq;
+    Tlb tlb(eq, "tlb", Tlb::Params{16, 0});
+    tlb.insert(entry(1, 0x100, 0x1));
+    tlb.insert(entry(1, 0x101, 0x2));
+    tlb.invalidatePage(1, 0x100);
+    EXPECT_FALSE(tlb.probe(1, 0x100).has_value());
+    EXPECT_TRUE(tlb.probe(1, 0x101).has_value());
+}
+
+TEST(Tlb, InvalidateAsidSparesOtherAsids)
+{
+    EventQueue eq;
+    Tlb tlb(eq, "tlb", Tlb::Params{16, 0});
+    tlb.insert(entry(1, 0x100, 0x1));
+    tlb.insert(entry(2, 0x200, 0x2));
+    tlb.invalidateAsid(1);
+    EXPECT_FALSE(tlb.probe(1, 0x100).has_value());
+    EXPECT_TRUE(tlb.probe(2, 0x200).has_value());
+}
+
+TEST(Tlb, InvalidateAllClearsEverything)
+{
+    EventQueue eq;
+    Tlb tlb(eq, "tlb", Tlb::Params{16, 0});
+    for (Addr v = 0; v < 8; ++v)
+        tlb.insert(entry(1, v, v));
+    tlb.invalidateAll();
+    for (Addr v = 0; v < 8; ++v)
+        EXPECT_FALSE(tlb.probe(1, v).has_value());
+}
+
+TEST(Tlb, LargePageCoversWholeRange)
+{
+    EventQueue eq;
+    Tlb tlb(eq, "tlb", Tlb::Params{64, 8});
+    // 2 MB page at VPN 512 (2 MB aligned).
+    tlb.insert(entry(1, 512, 1024, Perms::readWrite(), true));
+    for (Addr off : {Addr(0), Addr(1), Addr(255), Addr(511)}) {
+        auto hit = tlb.lookup(1, 512 + off);
+        ASSERT_TRUE(hit.has_value()) << "offset " << off;
+        EXPECT_TRUE(hit->largePage);
+        EXPECT_EQ(hit->ppn, 1024u);
+    }
+    EXPECT_FALSE(tlb.lookup(1, 511).has_value());
+    EXPECT_FALSE(tlb.lookup(1, 1024).has_value());
+}
+
+TEST(Tlb, LargePageInvalidationByAnyCoveredVpn)
+{
+    EventQueue eq;
+    Tlb tlb(eq, "tlb", Tlb::Params{64, 8});
+    tlb.insert(entry(1, 512, 1024, Perms::readWrite(), true));
+    tlb.invalidatePage(1, 700); // middle of the large page
+    EXPECT_FALSE(tlb.probe(1, 512).has_value());
+}
+
+class TlbAssocTest : public ::testing::TestWithParam<unsigned>
+{};
+
+TEST_P(TlbAssocTest, FillAndProbeAllEntries)
+{
+    EventQueue eq;
+    const unsigned assoc = GetParam();
+    Tlb tlb(eq, "tlb", Tlb::Params{64, assoc});
+    // Insert exactly 'assoc' entries per set; all must be resident.
+    const unsigned sets = 64 / (assoc == 0 ? 64 : assoc);
+    for (Addr v = 0; v < 64; ++v)
+        tlb.insert(entry(1, v, v + 1000));
+    (void)sets;
+    unsigned resident = 0;
+    for (Addr v = 0; v < 64; ++v) {
+        if (tlb.probe(1, v).has_value())
+            ++resident;
+    }
+    EXPECT_EQ(resident, 64u);
+}
+
+TEST_P(TlbAssocTest, CapacityIsRespected)
+{
+    EventQueue eq;
+    const unsigned assoc = GetParam();
+    Tlb tlb(eq, "tlb", Tlb::Params{64, assoc});
+    for (Addr v = 0; v < 256; ++v)
+        tlb.insert(entry(1, v, v));
+    unsigned resident = 0;
+    for (Addr v = 0; v < 256; ++v) {
+        if (tlb.probe(1, v).has_value())
+            ++resident;
+    }
+    EXPECT_EQ(resident, 64u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Associativities, TlbAssocTest,
+                         ::testing::Values(0u, 1u, 2u, 4u, 8u, 64u));

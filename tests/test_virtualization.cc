@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Virtualization and self-protection properties (paper §3.4.2).
+ *
+ * Border Control works unchanged under a trusted VMM because the
+ * Protection Table is indexed by bare-metal (host) physical addresses
+ * and lives in memory the VMM keeps out of every guest mapping. These
+ * tests check the properties that make that work:
+ *  - the table functions at an arbitrary host-chosen base;
+ *  - the table's own backing pages are self-protecting: an accelerator
+ *    can never read or forge it, because the OS/VMM never maps those
+ *    pages into any process, so they are never inserted;
+ *  - kernel-reserved low memory is likewise unreachable.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bc/attack.hh"
+#include "sim/logging.hh"
+
+using namespace bctrl;
+
+namespace {
+
+struct Quiet {
+    Quiet() { setLogVerbose(false); }
+} quiet;
+
+SystemConfig
+cfg()
+{
+    SystemConfig c;
+    c.safety = SafetyModel::borderControlBcc;
+    c.physMemBytes = 512ULL * 1024 * 1024;
+    return c;
+}
+
+} // namespace
+
+TEST(Virtualization, TableWorksAtArbitraryHostPhysicalBase)
+{
+    // A "VMM" places the table high in host-physical memory, outside
+    // anything a guest could map.
+    BackingStore store(512ULL * 1024 * 1024);
+    const Addr vmm_base = store.size() - 2 * 1024 * 1024;
+    ProtectionTable table(store, vmm_base, store.numPages());
+    table.setPerms(42, Perms::readWrite());
+    EXPECT_EQ(table.getPerms(42), Perms::readWrite());
+    EXPECT_TRUE(table.getPerms(41).none());
+    // Indexing is bare-metal physical: entry bytes live at the VMM's
+    // base, not anywhere a guest-physical mapping would reach.
+    EXPECT_GE(table.entryAddr(0), vmm_base);
+}
+
+TEST(Virtualization, ProtectionTableProtectsItself)
+{
+    // The accelerator tries to read and to forge (write) the
+    // Protection Table itself. Those physical pages were never handed
+    // out by the ATS, so the table — consulted about itself — denies.
+    System sys(cfg());
+    Process &proc = sys.kernel().createProcess();
+    sys.kernel().scheduleOnAccelerator(proc);
+    ASSERT_NE(sys.borderControl()->table(), nullptr);
+    const Addr table_base = sys.borderControl()->table()->base();
+
+    AttackInjector inject(sys);
+    EXPECT_TRUE(inject.wildPhysicalRead(table_base).blocked);
+    EXPECT_TRUE(inject.wildPhysicalWrite(table_base).blocked);
+    // Forging one's own permissions by writing table bytes covering a
+    // target page also fails.
+    const Addr target_entry =
+        sys.borderControl()->table()->entryAddr(0x1234);
+    EXPECT_TRUE(inject.wildPhysicalWrite(target_entry).blocked);
+}
+
+TEST(Virtualization, KernelReservedMemoryUnreachable)
+{
+    System sys(cfg());
+    Process &proc = sys.kernel().createProcess();
+    sys.kernel().scheduleOnAccelerator(proc);
+    AttackInjector inject(sys);
+    // Low memory (frame 0 and the reserved first megabyte).
+    EXPECT_TRUE(inject.wildPhysicalRead(0x0).blocked);
+    EXPECT_TRUE(inject.wildPhysicalWrite(0x80000).blocked);
+}
+
+TEST(Virtualization, PageTablesThemselvesAreUnreachable)
+{
+    // Page-table frames are kernel allocations never mapped into the
+    // process's own address space: the accelerator cannot read PTEs to
+    // learn the memory map, nor corrupt them.
+    System sys(cfg());
+    Process &proc = sys.kernel().createProcess();
+    Addr va = proc.mmap(pageSize, Perms::readWrite(), true);
+    sys.kernel().scheduleOnAccelerator(proc);
+    WalkResult w = proc.pageTable().walk(va);
+    ASSERT_GE(w.pteAddrs.size(), 1u);
+
+    AttackInjector inject(sys);
+    for (Addr pte_addr : w.pteAddrs) {
+        EXPECT_TRUE(inject.wildPhysicalRead(pte_addr).blocked);
+        EXPECT_TRUE(inject.wildPhysicalWrite(pte_addr).blocked);
+    }
+}
+
+TEST(Virtualization, GuestCannotGrantItselfTablePages)
+{
+    // Even a process that *asks* the ATS to translate addresses near
+    // the table gets nothing: no VMA covers them, so translation
+    // faults and no insertion happens.
+    System sys(cfg());
+    Process &proc = sys.kernel().createProcess();
+    sys.kernel().scheduleOnAccelerator(proc);
+    const Addr table_base = sys.borderControl()->table()->base();
+
+    bool called = false, ok = true;
+    sys.ats().translate(proc.asid(), table_base, false,
+                        [&](bool success, const TlbEntry &) {
+                            called = true;
+                            ok = success;
+                        });
+    sys.eventQueue().run();
+    EXPECT_TRUE(called);
+    EXPECT_FALSE(ok);
+
+    AttackInjector inject(sys);
+    EXPECT_TRUE(inject.wildPhysicalRead(table_base).blocked);
+}

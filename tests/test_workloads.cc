@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Tests for the workload generators: factory coverage, stream
+ * determinism, address validity against the process's VMAs, write
+ * discipline (writes only to writable regions), and termination.
+ * Parameterized across all seven Rodinia proxies.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "os/kernel.hh"
+#include "workloads/micro.hh"
+#include "workloads/workload.hh"
+
+using namespace bctrl;
+
+namespace {
+
+struct WorkloadEnv {
+    EventQueue eq;
+    BackingStore store{1ULL << 30};
+    Kernel kernel{eq, "kernel", store, Kernel::Params{}};
+};
+
+/** Pull every item from every wavefront, applying @p fn to mem items. */
+template <typename Fn>
+std::uint64_t
+drain(Workload &wl, unsigned cus, unsigned wfs, Fn &&fn)
+{
+    std::uint64_t mem_items = 0;
+    for (unsigned cu = 0; cu < cus; ++cu) {
+        for (unsigned wf = 0; wf < wfs; ++wf) {
+            for (;;) {
+                WorkItem item = wl.next(cu, wf);
+                if (item.kind == WorkItem::Kind::end)
+                    break;
+                if (item.kind == WorkItem::Kind::mem) {
+                    ++mem_items;
+                    fn(item);
+                }
+            }
+            // The stream stays ended once ended.
+            EXPECT_EQ(wl.next(cu, wf).kind, WorkItem::Kind::end);
+        }
+    }
+    return mem_items;
+}
+
+} // namespace
+
+TEST(WorkloadFactory, KnowsAllNames)
+{
+    for (const auto &name : rodiniaWorkloadNames())
+        EXPECT_NE(makeWorkload(name, 1), nullptr) << name;
+    for (const char *extra : {"kmeans", "srad", "gaussian"})
+        EXPECT_NE(makeWorkload(extra, 1), nullptr) << extra;
+    EXPECT_NE(makeWorkload("uniform", 1), nullptr);
+    EXPECT_NE(makeWorkload("stream", 1), nullptr);
+    EXPECT_NE(makeWorkload("strided", 1), nullptr);
+    EXPECT_EQ(makeWorkload("nope", 1), nullptr);
+}
+
+TEST(WorkloadFactory, SevenRodiniaProxies)
+{
+    EXPECT_EQ(rodiniaWorkloadNames().size(), 7u);
+}
+
+class RodiniaWorkloadTest : public ::testing::TestWithParam<std::string>
+{};
+
+TEST_P(RodiniaWorkloadTest, AllAccessesFallInsideDeclaredRegions)
+{
+    WorkloadEnv env;
+    Process &proc = env.kernel.createProcess();
+    auto wl = makeWorkload(GetParam(), 1);
+    ASSERT_NE(wl, nullptr);
+    wl->setup(proc);
+    wl->bind(2, 4);
+
+    std::uint64_t mem_items =
+        drain(*wl, 2, 4, [&](const WorkItem &item) {
+            const Process::Vma *vma = proc.findVma(item.vaddr);
+            ASSERT_NE(vma, nullptr)
+                << GetParam() << " touches unmapped 0x" << std::hex
+                << item.vaddr;
+            ASSERT_NE(proc.findVma(item.vaddr + item.size - 1), nullptr);
+            if (item.write) {
+                EXPECT_TRUE(vma->perms.write)
+                    << GetParam() << " writes a read-only region";
+            }
+        });
+    EXPECT_GT(mem_items, 10'000u) << "workload suspiciously small";
+}
+
+TEST_P(RodiniaWorkloadTest, DeterministicAcrossInstances)
+{
+    WorkloadEnv env1, env2;
+    Process &p1 = env1.kernel.createProcess();
+    Process &p2 = env2.kernel.createProcess();
+    auto a = makeWorkload(GetParam(), 1, 7);
+    auto b = makeWorkload(GetParam(), 1, 7);
+    a->setup(p1);
+    b->setup(p2);
+    a->bind(2, 2);
+    b->bind(2, 2);
+    for (int i = 0; i < 5000; ++i) {
+        WorkItem ia = a->next(1, 0);
+        WorkItem ib = b->next(1, 0);
+        ASSERT_EQ(static_cast<int>(ia.kind), static_cast<int>(ib.kind));
+        if (ia.kind == WorkItem::Kind::end)
+            break;
+        EXPECT_EQ(ia.vaddr, ib.vaddr);
+        EXPECT_EQ(ia.write, ib.write);
+        EXPECT_EQ(ia.cycles, ib.cycles);
+    }
+}
+
+TEST_P(RodiniaWorkloadTest, BindPartitionsWorkWithoutLoss)
+{
+    // The same total memory-item count regardless of machine shape.
+    WorkloadEnv env1, env2;
+    Process &p1 = env1.kernel.createProcess();
+    Process &p2 = env2.kernel.createProcess();
+    auto a = makeWorkload(GetParam(), 1);
+    auto b = makeWorkload(GetParam(), 1);
+    a->setup(p1);
+    b->setup(p2);
+    a->bind(8, 4);
+    b->bind(1, 4);
+    auto count_a = drain(*a, 8, 4, [](const WorkItem &) {});
+    auto count_b = drain(*b, 1, 4, [](const WorkItem &) {});
+    EXPECT_EQ(count_a, count_b);
+}
+
+TEST_P(RodiniaWorkloadTest, HasBothReadsAndWrites)
+{
+    WorkloadEnv env;
+    Process &proc = env.kernel.createProcess();
+    auto wl = makeWorkload(GetParam(), 1);
+    wl->setup(proc);
+    wl->bind(2, 4);
+    std::uint64_t reads = 0, writes = 0;
+    drain(*wl, 2, 4, [&](const WorkItem &item) {
+        (item.write ? writes : reads) += 1;
+    });
+    EXPECT_GT(reads, 0u);
+    EXPECT_GT(writes, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRodinia, RodiniaWorkloadTest,
+    ::testing::Values("backprop", "bfs", "hotspot", "lud", "nn", "nw",
+                      "pathfinder",
+                      // Rodinia-family extras beyond the paper's seven:
+                      "kmeans", "srad", "gaussian"));
+
+TEST(MicroWorkloads, UniformRespectsConfiguredFootprint)
+{
+    WorkloadEnv env;
+    Process &proc = env.kernel.createProcess();
+    UniformRandomWorkload wl(1, 3);
+    wl.configure(1 << 20, 4096, 0.5);
+    wl.setup(proc);
+    wl.bind(1, 2);
+    std::uint64_t items = drain(wl, 1, 2, [&](const WorkItem &item) {
+        ASSERT_NE(proc.findVma(item.vaddr), nullptr);
+    });
+    EXPECT_EQ(items, 4096u);
+}
+
+TEST(MicroWorkloads, StreamCoversFootprintSequentially)
+{
+    WorkloadEnv env;
+    Process &proc = env.kernel.createProcess();
+    StreamWorkload wl(1, 3);
+    wl.configure(64 * 1024, 1, 0.0);
+    wl.setup(proc);
+    wl.bind(1, 1);
+    Addr last = 0;
+    bool first = true;
+    drain(wl, 1, 1, [&](const WorkItem &item) {
+        if (!first) {
+            EXPECT_EQ(item.vaddr, last + 64);
+        }
+        first = false;
+        last = item.vaddr;
+    });
+}
+
+TEST(MicroWorkloads, StridedTouchesDistinctPages)
+{
+    WorkloadEnv env;
+    Process &proc = env.kernel.createProcess();
+    StridedWorkload wl(1, 3);
+    wl.configure(1 << 20, pageSize, 256);
+    wl.setup(proc);
+    wl.bind(1, 1);
+    std::set<Addr> pages;
+    drain(wl, 1, 1, [&](const WorkItem &item) {
+        pages.insert(pageNumber(item.vaddr));
+    });
+    EXPECT_EQ(pages.size(), 256u);
+}
