@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_bc_requests.dir/fig5_bc_requests.cc.o"
+  "CMakeFiles/fig5_bc_requests.dir/fig5_bc_requests.cc.o.d"
+  "fig5_bc_requests"
+  "fig5_bc_requests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_bc_requests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

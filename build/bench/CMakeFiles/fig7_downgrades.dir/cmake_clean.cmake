@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_downgrades.dir/fig7_downgrades.cc.o"
+  "CMakeFiles/fig7_downgrades.dir/fig7_downgrades.cc.o.d"
+  "fig7_downgrades"
+  "fig7_downgrades.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_downgrades.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_approaches.dir/table1_approaches.cc.o"
+  "CMakeFiles/table1_approaches.dir/table1_approaches.cc.o.d"
+  "table1_approaches"
+  "table1_approaches.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_approaches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_sysconfig.dir/table3_sysconfig.cc.o"
+  "CMakeFiles/table3_sysconfig.dir/table3_sysconfig.cc.o.d"
+  "table3_sysconfig"
+  "table3_sysconfig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_sysconfig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

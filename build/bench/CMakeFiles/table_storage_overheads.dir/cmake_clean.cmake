@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_storage_overheads.dir/table_storage_overheads.cc.o"
+  "CMakeFiles/table_storage_overheads.dir/table_storage_overheads.cc.o.d"
+  "table_storage_overheads"
+  "table_storage_overheads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_storage_overheads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

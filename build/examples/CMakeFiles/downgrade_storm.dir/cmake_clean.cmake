@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/downgrade_storm.dir/downgrade_storm.cpp.o"
+  "CMakeFiles/downgrade_storm.dir/downgrade_storm.cpp.o.d"
+  "downgrade_storm"
+  "downgrade_storm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/downgrade_storm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiprocess_accelerator.dir/multiprocess_accelerator.cpp.o"
+  "CMakeFiles/multiprocess_accelerator.dir/multiprocess_accelerator.cpp.o.d"
+  "multiprocess_accelerator"
+  "multiprocess_accelerator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiprocess_accelerator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

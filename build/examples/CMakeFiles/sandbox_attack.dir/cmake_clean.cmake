@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sandbox_attack.dir/sandbox_attack.cpp.o"
+  "CMakeFiles/sandbox_attack.dir/sandbox_attack.cpp.o.d"
+  "sandbox_attack"
+  "sandbox_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sandbox_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shared_virtual_memory.dir/shared_virtual_memory.cpp.o"
+  "CMakeFiles/shared_virtual_memory.dir/shared_virtual_memory.cpp.o.d"
+  "shared_virtual_memory"
+  "shared_virtual_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shared_virtual_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bc/attack.cc" "src/CMakeFiles/bordercontrol.dir/bc/attack.cc.o" "gcc" "src/CMakeFiles/bordercontrol.dir/bc/attack.cc.o.d"
+  "/root/repo/src/bc/bcc.cc" "src/CMakeFiles/bordercontrol.dir/bc/bcc.cc.o" "gcc" "src/CMakeFiles/bordercontrol.dir/bc/bcc.cc.o.d"
+  "/root/repo/src/bc/border_control.cc" "src/CMakeFiles/bordercontrol.dir/bc/border_control.cc.o" "gcc" "src/CMakeFiles/bordercontrol.dir/bc/border_control.cc.o.d"
+  "/root/repo/src/bc/protection_table.cc" "src/CMakeFiles/bordercontrol.dir/bc/protection_table.cc.o" "gcc" "src/CMakeFiles/bordercontrol.dir/bc/protection_table.cc.o.d"
+  "/root/repo/src/cache/cache.cc" "src/CMakeFiles/bordercontrol.dir/cache/cache.cc.o" "gcc" "src/CMakeFiles/bordercontrol.dir/cache/cache.cc.o.d"
+  "/root/repo/src/cache/coherence_point.cc" "src/CMakeFiles/bordercontrol.dir/cache/coherence_point.cc.o" "gcc" "src/CMakeFiles/bordercontrol.dir/cache/coherence_point.cc.o.d"
+  "/root/repo/src/cache/mshr.cc" "src/CMakeFiles/bordercontrol.dir/cache/mshr.cc.o" "gcc" "src/CMakeFiles/bordercontrol.dir/cache/mshr.cc.o.d"
+  "/root/repo/src/cache/tags.cc" "src/CMakeFiles/bordercontrol.dir/cache/tags.cc.o" "gcc" "src/CMakeFiles/bordercontrol.dir/cache/tags.cc.o.d"
+  "/root/repo/src/config/system_builder.cc" "src/CMakeFiles/bordercontrol.dir/config/system_builder.cc.o" "gcc" "src/CMakeFiles/bordercontrol.dir/config/system_builder.cc.o.d"
+  "/root/repo/src/config/system_config.cc" "src/CMakeFiles/bordercontrol.dir/config/system_config.cc.o" "gcc" "src/CMakeFiles/bordercontrol.dir/config/system_config.cc.o.d"
+  "/root/repo/src/cpu/cpu_core.cc" "src/CMakeFiles/bordercontrol.dir/cpu/cpu_core.cc.o" "gcc" "src/CMakeFiles/bordercontrol.dir/cpu/cpu_core.cc.o.d"
+  "/root/repo/src/gpu/compute_unit.cc" "src/CMakeFiles/bordercontrol.dir/gpu/compute_unit.cc.o" "gcc" "src/CMakeFiles/bordercontrol.dir/gpu/compute_unit.cc.o.d"
+  "/root/repo/src/gpu/gpu.cc" "src/CMakeFiles/bordercontrol.dir/gpu/gpu.cc.o" "gcc" "src/CMakeFiles/bordercontrol.dir/gpu/gpu.cc.o.d"
+  "/root/repo/src/gpu/wavefront.cc" "src/CMakeFiles/bordercontrol.dir/gpu/wavefront.cc.o" "gcc" "src/CMakeFiles/bordercontrol.dir/gpu/wavefront.cc.o.d"
+  "/root/repo/src/mem/backing_store.cc" "src/CMakeFiles/bordercontrol.dir/mem/backing_store.cc.o" "gcc" "src/CMakeFiles/bordercontrol.dir/mem/backing_store.cc.o.d"
+  "/root/repo/src/mem/dram.cc" "src/CMakeFiles/bordercontrol.dir/mem/dram.cc.o" "gcc" "src/CMakeFiles/bordercontrol.dir/mem/dram.cc.o.d"
+  "/root/repo/src/mem/mem_bus.cc" "src/CMakeFiles/bordercontrol.dir/mem/mem_bus.cc.o" "gcc" "src/CMakeFiles/bordercontrol.dir/mem/mem_bus.cc.o.d"
+  "/root/repo/src/mem/packet.cc" "src/CMakeFiles/bordercontrol.dir/mem/packet.cc.o" "gcc" "src/CMakeFiles/bordercontrol.dir/mem/packet.cc.o.d"
+  "/root/repo/src/os/kernel.cc" "src/CMakeFiles/bordercontrol.dir/os/kernel.cc.o" "gcc" "src/CMakeFiles/bordercontrol.dir/os/kernel.cc.o.d"
+  "/root/repo/src/os/process.cc" "src/CMakeFiles/bordercontrol.dir/os/process.cc.o" "gcc" "src/CMakeFiles/bordercontrol.dir/os/process.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/bordercontrol.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/bordercontrol.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/sim/logging.cc" "src/CMakeFiles/bordercontrol.dir/sim/logging.cc.o" "gcc" "src/CMakeFiles/bordercontrol.dir/sim/logging.cc.o.d"
+  "/root/repo/src/sim/random.cc" "src/CMakeFiles/bordercontrol.dir/sim/random.cc.o" "gcc" "src/CMakeFiles/bordercontrol.dir/sim/random.cc.o.d"
+  "/root/repo/src/sim/sim_object.cc" "src/CMakeFiles/bordercontrol.dir/sim/sim_object.cc.o" "gcc" "src/CMakeFiles/bordercontrol.dir/sim/sim_object.cc.o.d"
+  "/root/repo/src/sim/stats.cc" "src/CMakeFiles/bordercontrol.dir/sim/stats.cc.o" "gcc" "src/CMakeFiles/bordercontrol.dir/sim/stats.cc.o.d"
+  "/root/repo/src/vm/ats.cc" "src/CMakeFiles/bordercontrol.dir/vm/ats.cc.o" "gcc" "src/CMakeFiles/bordercontrol.dir/vm/ats.cc.o.d"
+  "/root/repo/src/vm/iommu_frontend.cc" "src/CMakeFiles/bordercontrol.dir/vm/iommu_frontend.cc.o" "gcc" "src/CMakeFiles/bordercontrol.dir/vm/iommu_frontend.cc.o.d"
+  "/root/repo/src/vm/page_table.cc" "src/CMakeFiles/bordercontrol.dir/vm/page_table.cc.o" "gcc" "src/CMakeFiles/bordercontrol.dir/vm/page_table.cc.o.d"
+  "/root/repo/src/vm/tlb.cc" "src/CMakeFiles/bordercontrol.dir/vm/tlb.cc.o" "gcc" "src/CMakeFiles/bordercontrol.dir/vm/tlb.cc.o.d"
+  "/root/repo/src/workloads/backprop.cc" "src/CMakeFiles/bordercontrol.dir/workloads/backprop.cc.o" "gcc" "src/CMakeFiles/bordercontrol.dir/workloads/backprop.cc.o.d"
+  "/root/repo/src/workloads/bfs.cc" "src/CMakeFiles/bordercontrol.dir/workloads/bfs.cc.o" "gcc" "src/CMakeFiles/bordercontrol.dir/workloads/bfs.cc.o.d"
+  "/root/repo/src/workloads/extra.cc" "src/CMakeFiles/bordercontrol.dir/workloads/extra.cc.o" "gcc" "src/CMakeFiles/bordercontrol.dir/workloads/extra.cc.o.d"
+  "/root/repo/src/workloads/hotspot.cc" "src/CMakeFiles/bordercontrol.dir/workloads/hotspot.cc.o" "gcc" "src/CMakeFiles/bordercontrol.dir/workloads/hotspot.cc.o.d"
+  "/root/repo/src/workloads/lud.cc" "src/CMakeFiles/bordercontrol.dir/workloads/lud.cc.o" "gcc" "src/CMakeFiles/bordercontrol.dir/workloads/lud.cc.o.d"
+  "/root/repo/src/workloads/micro.cc" "src/CMakeFiles/bordercontrol.dir/workloads/micro.cc.o" "gcc" "src/CMakeFiles/bordercontrol.dir/workloads/micro.cc.o.d"
+  "/root/repo/src/workloads/nn.cc" "src/CMakeFiles/bordercontrol.dir/workloads/nn.cc.o" "gcc" "src/CMakeFiles/bordercontrol.dir/workloads/nn.cc.o.d"
+  "/root/repo/src/workloads/nw.cc" "src/CMakeFiles/bordercontrol.dir/workloads/nw.cc.o" "gcc" "src/CMakeFiles/bordercontrol.dir/workloads/nw.cc.o.d"
+  "/root/repo/src/workloads/pathfinder.cc" "src/CMakeFiles/bordercontrol.dir/workloads/pathfinder.cc.o" "gcc" "src/CMakeFiles/bordercontrol.dir/workloads/pathfinder.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/CMakeFiles/bordercontrol.dir/workloads/workload.cc.o" "gcc" "src/CMakeFiles/bordercontrol.dir/workloads/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

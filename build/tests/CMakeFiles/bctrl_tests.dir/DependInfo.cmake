@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_ats.cc" "tests/CMakeFiles/bctrl_tests.dir/test_ats.cc.o" "gcc" "tests/CMakeFiles/bctrl_tests.dir/test_ats.cc.o.d"
+  "/root/repo/tests/test_attacks.cc" "tests/CMakeFiles/bctrl_tests.dir/test_attacks.cc.o" "gcc" "tests/CMakeFiles/bctrl_tests.dir/test_attacks.cc.o.d"
+  "/root/repo/tests/test_backing_store.cc" "tests/CMakeFiles/bctrl_tests.dir/test_backing_store.cc.o" "gcc" "tests/CMakeFiles/bctrl_tests.dir/test_backing_store.cc.o.d"
+  "/root/repo/tests/test_bcc.cc" "tests/CMakeFiles/bctrl_tests.dir/test_bcc.cc.o" "gcc" "tests/CMakeFiles/bctrl_tests.dir/test_bcc.cc.o.d"
+  "/root/repo/tests/test_border_control.cc" "tests/CMakeFiles/bctrl_tests.dir/test_border_control.cc.o" "gcc" "tests/CMakeFiles/bctrl_tests.dir/test_border_control.cc.o.d"
+  "/root/repo/tests/test_cache.cc" "tests/CMakeFiles/bctrl_tests.dir/test_cache.cc.o" "gcc" "tests/CMakeFiles/bctrl_tests.dir/test_cache.cc.o.d"
+  "/root/repo/tests/test_coherence.cc" "tests/CMakeFiles/bctrl_tests.dir/test_coherence.cc.o" "gcc" "tests/CMakeFiles/bctrl_tests.dir/test_coherence.cc.o.d"
+  "/root/repo/tests/test_cpu.cc" "tests/CMakeFiles/bctrl_tests.dir/test_cpu.cc.o" "gcc" "tests/CMakeFiles/bctrl_tests.dir/test_cpu.cc.o.d"
+  "/root/repo/tests/test_downgrades.cc" "tests/CMakeFiles/bctrl_tests.dir/test_downgrades.cc.o" "gcc" "tests/CMakeFiles/bctrl_tests.dir/test_downgrades.cc.o.d"
+  "/root/repo/tests/test_dram.cc" "tests/CMakeFiles/bctrl_tests.dir/test_dram.cc.o" "gcc" "tests/CMakeFiles/bctrl_tests.dir/test_dram.cc.o.d"
+  "/root/repo/tests/test_event_queue.cc" "tests/CMakeFiles/bctrl_tests.dir/test_event_queue.cc.o" "gcc" "tests/CMakeFiles/bctrl_tests.dir/test_event_queue.cc.o.d"
+  "/root/repo/tests/test_geometry_properties.cc" "tests/CMakeFiles/bctrl_tests.dir/test_geometry_properties.cc.o" "gcc" "tests/CMakeFiles/bctrl_tests.dir/test_geometry_properties.cc.o.d"
+  "/root/repo/tests/test_gpu.cc" "tests/CMakeFiles/bctrl_tests.dir/test_gpu.cc.o" "gcc" "tests/CMakeFiles/bctrl_tests.dir/test_gpu.cc.o.d"
+  "/root/repo/tests/test_iommu_frontend.cc" "tests/CMakeFiles/bctrl_tests.dir/test_iommu_frontend.cc.o" "gcc" "tests/CMakeFiles/bctrl_tests.dir/test_iommu_frontend.cc.o.d"
+  "/root/repo/tests/test_misc.cc" "tests/CMakeFiles/bctrl_tests.dir/test_misc.cc.o" "gcc" "tests/CMakeFiles/bctrl_tests.dir/test_misc.cc.o.d"
+  "/root/repo/tests/test_page_table.cc" "tests/CMakeFiles/bctrl_tests.dir/test_page_table.cc.o" "gcc" "tests/CMakeFiles/bctrl_tests.dir/test_page_table.cc.o.d"
+  "/root/repo/tests/test_process_kernel.cc" "tests/CMakeFiles/bctrl_tests.dir/test_process_kernel.cc.o" "gcc" "tests/CMakeFiles/bctrl_tests.dir/test_process_kernel.cc.o.d"
+  "/root/repo/tests/test_properties.cc" "tests/CMakeFiles/bctrl_tests.dir/test_properties.cc.o" "gcc" "tests/CMakeFiles/bctrl_tests.dir/test_properties.cc.o.d"
+  "/root/repo/tests/test_protection_table.cc" "tests/CMakeFiles/bctrl_tests.dir/test_protection_table.cc.o" "gcc" "tests/CMakeFiles/bctrl_tests.dir/test_protection_table.cc.o.d"
+  "/root/repo/tests/test_random.cc" "tests/CMakeFiles/bctrl_tests.dir/test_random.cc.o" "gcc" "tests/CMakeFiles/bctrl_tests.dir/test_random.cc.o.d"
+  "/root/repo/tests/test_stats.cc" "tests/CMakeFiles/bctrl_tests.dir/test_stats.cc.o" "gcc" "tests/CMakeFiles/bctrl_tests.dir/test_stats.cc.o.d"
+  "/root/repo/tests/test_system_integration.cc" "tests/CMakeFiles/bctrl_tests.dir/test_system_integration.cc.o" "gcc" "tests/CMakeFiles/bctrl_tests.dir/test_system_integration.cc.o.d"
+  "/root/repo/tests/test_tags.cc" "tests/CMakeFiles/bctrl_tests.dir/test_tags.cc.o" "gcc" "tests/CMakeFiles/bctrl_tests.dir/test_tags.cc.o.d"
+  "/root/repo/tests/test_tlb.cc" "tests/CMakeFiles/bctrl_tests.dir/test_tlb.cc.o" "gcc" "tests/CMakeFiles/bctrl_tests.dir/test_tlb.cc.o.d"
+  "/root/repo/tests/test_virtualization.cc" "tests/CMakeFiles/bctrl_tests.dir/test_virtualization.cc.o" "gcc" "tests/CMakeFiles/bctrl_tests.dir/test_virtualization.cc.o.d"
+  "/root/repo/tests/test_workloads.cc" "tests/CMakeFiles/bctrl_tests.dir/test_workloads.cc.o" "gcc" "tests/CMakeFiles/bctrl_tests.dir/test_workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bordercontrol.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bctrl-sim.dir/bctrl_sim.cc.o"
+  "CMakeFiles/bctrl-sim.dir/bctrl_sim.cc.o.d"
+  "bctrl-sim"
+  "bctrl-sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bctrl-sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
