@@ -5,8 +5,8 @@
  * against the unsafe baseline, and print aligned rows.
  */
 
-#ifndef BCTRL_BENCH_COMMON_HH
-#define BCTRL_BENCH_COMMON_HH
+#ifndef BCTRL_BENCH_BENCH_COMMON_HH
+#define BCTRL_BENCH_BENCH_COMMON_HH
 
 #include <string>
 #include <vector>
@@ -32,4 +32,4 @@ std::string pct(double overhead);
 } // namespace bench
 } // namespace bctrl
 
-#endif // BCTRL_BENCH_COMMON_HH
+#endif // BCTRL_BENCH_BENCH_COMMON_HH

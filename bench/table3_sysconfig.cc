@@ -55,7 +55,7 @@ main()
     std::printf("  BCC access latency            %llu cycles\n",
                 (unsigned long long)cfg.bccLatencyCycles);
     const std::uint64_t table_bytes =
-        (cfg.physMemBytes >> pageShift) / 4;
+        pageNumber(cfg.physMemBytes) / 4;
     std::printf("  Protection Table size         %lluKB\n",
                 (unsigned long long)(table_bytes / 1024));
     std::printf("  Protection Table latency      %llu cycles\n",

@@ -28,7 +28,7 @@ main()
     BackingStore host(1 << 20);
     for (Addr gb : {Addr(2), Addr(3), Addr(4), Addr(8), Addr(16),
                     Addr(64)}) {
-        const Addr ppns = (gb << 30) >> pageShift;
+        const Addr ppns = pageNumber(gb << 30);
         ProtectionTable table(host, 0, std::min<Addr>(ppns, 2048));
         // Size is analytic; construct a small table and scale the
         // formula (2 bits per page).
@@ -41,7 +41,7 @@ main()
         ok = ok && frac < 0.0001; // "0.006%"
     }
 
-    const Addr ppns_16gb = (16ULL << 30) >> pageShift;
+    const Addr ppns_16gb = pageNumber(16ULL << 30);
     const Addr bytes_16gb = ppns_16gb / 4;
     std::printf("\n16 GB system -> %llu MB table (paper: 1 MB)\n",
                 (unsigned long long)(bytes_16gb >> 20));

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/contracts.hh"
 #include "sim/logging.hh"
 
 namespace bctrl {
@@ -94,6 +95,18 @@ BorderControl::evaluate(Addr ppn, Tick &check_done)
         }
         if (auto hit = bcc_.lookup(ppn)) {
             ++bccHitStat_;
+            // Inclusion contract (paper §3.3): the BCC is write-through
+            // to the Protection Table, so a resident entry must hold
+            // exactly the permissions the table holds. A divergence
+            // here means a downgrade or insertion skipped one of the
+            // two structures — the bug class that silently voids the
+            // sandboxing guarantee.
+            BCTRL_ASSERT_MSG(
+                *hit == table_->getPerms(ppn),
+                "BCC/Protection Table divergence for ppn 0x%llx: "
+                "BCC {r=%d w=%d} vs table {r=%d w=%d}",
+                (unsigned long long)ppn, hit->read, hit->write,
+                table_->getPerms(ppn).read, table_->getPerms(ppn).write);
             check_done = clockEdge(params_.bccLatency);
             return *hit;
         }
@@ -200,6 +213,13 @@ BorderControl::onTranslation(Asid asid, Addr vpn, Addr ppn, Perms perms,
         const Perms merged = table_->mergePerms(p, perms);
         if (params_.useBcc && !bcc_.update(p, merged))
             bcc_.fill(p, *table_);
+        // Post-condition of the write-through insert: whichever path
+        // ran (in-place update or miss fill), the BCC now agrees with
+        // the table for this page.
+        BCTRL_ASSERT_MSG(!params_.useBcc ||
+                             bcc_.probe(p) == table_->getPerms(p),
+                         "BCC out of sync after insertion of ppn 0x%llx",
+                         (unsigned long long)p);
     }
     // One read-modify-write of the affected table bytes. A 2 MB large
     // page touches 512 entries = 128 B, exactly one memory block.
@@ -218,6 +238,13 @@ BorderControl::downgradePage(Addr ppn, Perms new_perms)
     table_->setPerms(ppn, new_perms);
     if (params_.useBcc)
         bcc_.update(ppn, new_perms);
+    // A downgrade must land in both structures or the stale BCC copy
+    // would keep authorizing revoked accesses.
+    BCTRL_ASSERT_MSG(!params_.useBcc || !bcc_.resident(ppn) ||
+                         bcc_.probe(ppn) == new_perms,
+                     "BCC kept stale permissions after downgrade of "
+                     "ppn 0x%llx",
+                     (unsigned long long)ppn);
     chargeTableAccess(table_->entryAddr(ppn), 64, true);
 }
 

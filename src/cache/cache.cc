@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/contracts.hh"
 #include "sim/logging.hh"
 
 namespace bctrl {
@@ -26,6 +27,24 @@ Cache::Cache(EventQueue &eq, const std::string &name, const Params &params,
                                             "demand miss latency (ticks)"))
 {
     panic_if(params_.clockPeriod == 0, "cache clock period is zero");
+}
+
+Cache::~Cache()
+{
+    // MSHR leak contract: once the event queue has fully drained, every
+    // allocated MSHR must have seen its fill response and been
+    // released, and no deferred access may still be parked. A leak here
+    // means a miss was issued whose response path was dropped — the
+    // requestor above us hangs forever. Only checked when the queue is
+    // empty: tearing down mid-simulation (run(maxTick) cut short)
+    // legitimately leaves misses in flight.
+    BCTRL_ASSERT_MSG(!eventQueue().empty() || (mshrs_.inService() == 0 &&
+                                               deferred_.empty()),
+                     "cache '%s' destroyed with %zu leaked MSHRs and "
+                     "%zu deferred accesses after the event queue "
+                     "drained",
+                     name().c_str(), mshrs_.inService(),
+                     deferred_.size());
 }
 
 Tick

@@ -52,6 +52,9 @@ class Cache : public SimObject, public MemDevice
     Cache(EventQueue &eq, const std::string &name, const Params &params,
           MemDevice &downstream);
 
+    /** Checks the end-of-sim MSHR leak contract (see cache.cc). */
+    ~Cache() override;
+
     void access(const PacketPtr &pkt) override;
 
     /**

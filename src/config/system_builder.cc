@@ -208,11 +208,15 @@ System::startDowngradeInjector(Process &proc, const bool *finished)
     const Tick period =
         static_cast<Tick>(static_cast<double>(ticksPerSecond) / rate);
 
-    // Self-rescheduling injector; stops once the kernel completes.
+    // Self-rescheduling injector; stops once the kernel completes. The
+    // stored function must not capture a strong reference to itself
+    // (shared_ptr cycle → leak); each scheduled event holds the strong
+    // reference and the body re-locks a weak one to reschedule.
     auto injector = std::make_shared<std::function<void()>>();
     auto in_flight = std::make_shared<bool>(false);
     Process *procp = &proc;
-    *injector = [this, procp, finished, period, injector, in_flight]() {
+    std::weak_ptr<std::function<void()>> weak_self = injector;
+    *injector = [this, procp, finished, period, weak_self, in_flight]() {
         if (*finished)
             return;
         if (!*in_flight) {
@@ -220,7 +224,10 @@ System::startDowngradeInjector(Process &proc, const bool *finished)
             kernel_->injectDowngrade(
                 *procp, [in_flight]() { *in_flight = false; });
         }
-        eventQueue_.scheduleLambda([injector]() { (*injector)(); },
+        auto self = weak_self.lock();
+        if (!self)
+            return;
+        eventQueue_.scheduleLambda([self]() { (*self)(); },
                                    eventQueue_.curTick() + period);
     };
     eventQueue_.scheduleLambda([injector]() { (*injector)(); },

@@ -88,9 +88,8 @@ CpuCore::execute(const CpuOp &op)
 
     auto entry = tlb_.lookup(asid, vpn);
     if (entry && entry->perms.covers(need)) {
-        const Addr paddr =
-            ((entry->ppn + (vpn - entry->vpn)) << pageShift) |
-            pageOffset(op.vaddr);
+        const Addr paddr = pageBase(entry->ppn + (vpn - entry->vpn)) |
+                           pageOffset(op.vaddr);
         CpuCore *self = this;
         CpuOp copy = op;
         Addr pa = paddr;

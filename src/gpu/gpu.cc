@@ -171,8 +171,7 @@ Gpu::issuePhys(unsigned cu, const WorkItem &item,
             return;
         }
         const Addr paddr =
-            ((entry.ppn + (pageNumber(item.vaddr) - entry.vpn))
-             << pageShift) |
+            pageBase(entry.ppn + (pageNumber(item.vaddr) - entry.vpn)) |
             pageOffset(item.vaddr);
         auto pkt =
             Packet::make(item.write ? MemCmd::Write : MemCmd::Read,

@@ -45,6 +45,13 @@ pageNumber(Addr a)
     return a >> pageShift;
 }
 
+/** First byte address of page number @p ppn (inverse of pageNumber). */
+constexpr Addr
+pageBase(Addr ppn)
+{
+    return ppn << pageShift;
+}
+
 constexpr Addr
 blockAlign(Addr a)
 {
@@ -55,6 +62,13 @@ constexpr Addr
 blockNumber(Addr a)
 {
     return a >> blockShift;
+}
+
+/** First byte address of block number @p bn (inverse of blockNumber). */
+constexpr Addr
+blockBase(Addr bn)
+{
+    return bn << blockShift;
 }
 
 /** Round @p a up to a multiple of @p align (a power of two). */

@@ -29,7 +29,7 @@ class BackingStore
     explicit BackingStore(Addr size);
 
     Addr size() const { return size_; }
-    Addr numPages() const { return size_ >> pageShift; }
+    Addr numPages() const { return pageNumber(size_); }
 
     /** Functional read of @p len bytes at physical @p addr. */
     void read(Addr addr, void *dst, Addr len) const;

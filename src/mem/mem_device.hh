@@ -13,6 +13,7 @@
 #define BCTRL_MEM_MEM_DEVICE_HH
 
 #include "mem/packet.hh"
+#include "sim/contracts.hh"
 #include "sim/event_queue.hh"
 
 namespace bctrl {
@@ -34,6 +35,10 @@ respondAt(EventQueue &eq, const PacketPtr &pkt, Tick when)
         return;
     eq.scheduleLambda([pkt]() {
         if (pkt->onResponse) {
+            BCTRL_ASSERT_MSG(!pkt->responded,
+                             "second response delivered for packet %s",
+                             pkt->toString().c_str());
+            pkt->responded = true;
             auto cb = std::move(pkt->onResponse);
             pkt->onResponse = nullptr;
             cb(*pkt);

@@ -70,6 +70,13 @@ struct Packet {
      * untrusted requestor that asked read-only (paper §3.4.3).
      */
     bool grantedWritable = false;
+    /**
+     * Contract bookkeeping: set by respondAt() when the onResponse
+     * callback is delivered, checked (under BCTRL_ASSERT) to enforce
+     * the responded-exactly-once contract. Always present so the
+     * struct layout does not depend on the contracts configuration.
+     */
+    bool responded = false;
 
     bool isRead() const { return cmd == MemCmd::Read; }
     bool isWrite() const { return cmd != MemCmd::Read; }

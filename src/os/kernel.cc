@@ -209,7 +209,7 @@ Kernel::injectDowngrade(Process &proc, std::function<void()> done)
         return;
     }
     const Addr vpn = vpns[rng_.nextBounded(vpns.size())];
-    const Addr vaddr = vpn << pageShift;
+    const Addr vaddr = pageBase(vpn);
     WalkResult walk = proc.pageTable().walk(vaddr);
     if (!walk.valid) {
         if (done)

@@ -122,7 +122,7 @@ Process::unmapRange(Addr vaddr, Addr bytes)
         return vma.start >= vaddr && vma.end <= end;
     });
     std::erase_if(mappedVpns_, [&](Addr vpn) {
-        Addr va = vpn << pageShift;
+        Addr va = pageBase(vpn);
         return va >= vaddr && va < end;
     });
 }

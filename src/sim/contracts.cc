@@ -1,0 +1,28 @@
+#include "sim/contracts.hh"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace bctrl {
+
+void
+contractFailure(const char *file, int line, const char *expr,
+                const char *fmt, ...)
+{
+    std::fflush(stdout);
+    std::fprintf(stderr, "contract violated: %s\n  at %s:%d\n", expr, file,
+                 line);
+    if (fmt != nullptr) {
+        std::va_list args;
+        va_start(args, fmt);
+        std::fprintf(stderr, "  ");
+        std::vfprintf(stderr, fmt, args);
+        std::fprintf(stderr, "\n");
+        va_end(args);
+    }
+    std::fflush(stderr);
+    std::abort();
+}
+
+} // namespace bctrl

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Runtime invariant contracts.
+ *
+ * BCTRL_ASSERT / BCTRL_ASSERT_MSG enforce documented simulator
+ * invariants (response-exactly-once, event-queue monotonicity, BCC
+ * inclusion in the Protection Table, MSHR accounting). They differ from
+ * panic_if in two ways: they are compiled out of release builds, so
+ * hot-path checks cost nothing in measurement runs, and they abort()
+ * rather than unwind, so a debugger or death test lands exactly at the
+ * violation.
+ *
+ * Enablement: contracts follow the build type (on when NDEBUG is not
+ * defined), and can be forced either way with the BCTRL_CONTRACTS CMake
+ * option, which defines BCTRL_CONTRACTS_ENABLED globally. A translation
+ * unit may also define BCTRL_CONTRACTS_ENABLED before including this
+ * header (the failure handler is always compiled into the library, so
+ * per-TU enablement needs no special build).
+ *
+ * When compiled out, the condition is parsed but never evaluated
+ * (sizeof of an unevaluated operand), so contracts may reference
+ * debug-only state without triggering unused warnings in release.
+ */
+
+#ifndef BCTRL_SIM_CONTRACTS_HH
+#define BCTRL_SIM_CONTRACTS_HH
+
+namespace bctrl {
+
+/**
+ * Report a contract violation with source context and abort().
+ * Always compiled into the library regardless of BCTRL_CONTRACTS_ENABLED.
+ */
+[[noreturn]] void contractFailure(const char *file, int line,
+                                  const char *expr, const char *fmt, ...);
+
+} // namespace bctrl
+
+#ifndef BCTRL_CONTRACTS_ENABLED
+#ifdef NDEBUG
+#define BCTRL_CONTRACTS_ENABLED 0
+#else
+#define BCTRL_CONTRACTS_ENABLED 1
+#endif
+#endif
+
+#if BCTRL_CONTRACTS_ENABLED
+
+#define BCTRL_ASSERT(expr)                                                   \
+    do {                                                                     \
+        if (!(expr))                                                         \
+            ::bctrl::contractFailure(__FILE__, __LINE__, #expr, nullptr);    \
+    } while (0)
+
+#define BCTRL_ASSERT_MSG(expr, ...)                                          \
+    do {                                                                     \
+        if (!(expr))                                                         \
+            ::bctrl::contractFailure(__FILE__, __LINE__, #expr,              \
+                                     __VA_ARGS__);                           \
+    } while (0)
+
+#else
+
+#define BCTRL_ASSERT(expr) ((void)sizeof((expr) ? 1 : 0))
+#define BCTRL_ASSERT_MSG(expr, ...) ((void)sizeof((expr) ? 1 : 0))
+
+#endif // BCTRL_CONTRACTS_ENABLED
+
+#endif // BCTRL_SIM_CONTRACTS_HH

@@ -1,5 +1,7 @@
 #include "sim/event_queue.hh"
 
+#include "sim/contracts.hh"
+
 namespace bctrl {
 
 EventQueue::~EventQueue()
@@ -21,6 +23,12 @@ EventQueue::push(Event *ev, Tick when, bool owned_lambda)
              "scheduling event '%s' in the past (%llu < %llu)",
              ev->name().c_str(), (unsigned long long)when,
              (unsigned long long)curTick_);
+    // No-double-schedule: every caller must have descheduled (or never
+    // scheduled) the event; a second live heap entry for the same event
+    // would fire its callback twice.
+    BCTRL_ASSERT_MSG(!ev->scheduled_,
+                     "event '%s' pushed while already scheduled",
+                     ev->name().c_str());
     ev->scheduled_ = true;
     ev->squashed_ = false;
     ev->when_ = when;
@@ -28,6 +36,9 @@ EventQueue::push(Event *ev, Tick when, bool owned_lambda)
     heap_.push(Entry{when, ev->priority(), ev->sequence_, ev,
                      owned_lambda});
     ++liveEvents_;
+    // Stale (squashed or superseded) entries linger in the heap, so the
+    // heap can only ever be at least as large as the live-event count.
+    BCTRL_ASSERT(liveEvents_ <= heap_.size());
 }
 
 void
@@ -87,6 +98,14 @@ EventQueue::step()
             continue;
         }
         panic_if(e.when < curTick_, "event time ran backwards");
+        // Monotonic-tick contract: the entry about to execute carries
+        // the event's current schedule, never a stale earlier one.
+        BCTRL_ASSERT_MSG(ev->when_ == e.when && ev->when_ >= curTick_,
+                         "event '%s' fired at tick %llu but is "
+                         "scheduled for %llu",
+                         ev->name().c_str(), (unsigned long long)e.when,
+                         (unsigned long long)ev->when_);
+        BCTRL_ASSERT(liveEvents_ > 0);
         curTick_ = e.when;
         ev->scheduled_ = false;
         --liveEvents_;

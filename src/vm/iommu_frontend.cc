@@ -54,7 +54,7 @@ IommuFrontend::finish(const PacketPtr &pkt, bool ok,
         return;
     }
     const Addr vpn_offset = pageNumber(pkt->vaddr) - entry.vpn;
-    pkt->paddr = ((entry.ppn + vpn_offset) << pageShift) |
+    pkt->paddr = pageBase(entry.ppn + vpn_offset) |
                  pageOffset(pkt->vaddr);
     pkt->isVirtual = false;
     downstream_.access(pkt);

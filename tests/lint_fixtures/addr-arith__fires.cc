@@ -1,0 +1,24 @@
+// bclint fixture: raw page/block arithmetic instead of the mem/addr.hh
+// helpers.
+
+#include <cstdint>
+
+namespace bctrl {
+
+using Addr = std::uint64_t;
+extern const unsigned pageShift;
+extern const Addr blockMask;
+
+Addr
+rawPageNumber(Addr a)
+{
+    return a >> pageShift;
+}
+
+Addr
+rawBlockAlign(Addr a)
+{
+    return a & ~blockMask;
+}
+
+} // namespace bctrl

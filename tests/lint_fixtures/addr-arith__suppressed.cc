@@ -1,0 +1,25 @@
+// bclint fixture: raw address arithmetic explicitly allowed (the
+// helpers themselves, or storage-layout math that is not an address).
+
+#include <cstdint>
+
+namespace bctrl {
+
+using Addr = std::uint64_t;
+extern const unsigned pageShift;
+extern const Addr blockMask;
+
+Addr
+helperPageNumber(Addr a)
+{
+    return a >> pageShift; // bclint:allow(addr-arith)
+}
+
+Addr
+helperBlockAlign(Addr a)
+{
+    // bclint:allow(addr-arith)
+    return a & ~blockMask;
+}
+
+} // namespace bctrl

@@ -1,0 +1,16 @@
+// bclint fixture: catch (...) swallows the simulator's panic paths.
+
+namespace bctrl {
+
+void simulate();
+
+void
+swallow()
+{
+    try {
+        simulate();
+    } catch (...) {
+    }
+}
+
+} // namespace bctrl

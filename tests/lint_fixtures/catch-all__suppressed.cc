@@ -1,0 +1,20 @@
+// bclint fixture: a deliberate catch-all (e.g. a crash-reporting shim)
+// may be suppressed.
+
+namespace bctrl {
+
+void simulate();
+void reportAndRethrow();
+
+void
+crashShim()
+{
+    try {
+        simulate();
+    } catch (...) { // bclint:allow(catch-all)
+        reportAndRethrow();
+        throw;
+    }
+}
+
+} // namespace bctrl

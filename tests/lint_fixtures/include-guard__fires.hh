@@ -1,0 +1,13 @@
+// bclint fixture: a header whose guard does not match the canonical
+// BCTRL_<PATH>_HH spelling.
+
+#ifndef SOME_OTHER_GUARD_HH
+#define SOME_OTHER_GUARD_HH
+
+namespace bctrl {
+
+struct GuardFixture {};
+
+} // namespace bctrl
+
+#endif // SOME_OTHER_GUARD_HH

@@ -1,0 +1,14 @@
+// bclint fixture: a nonconforming guard silenced with the file-level
+// suppression form.
+// bclint:allow-file(include-guard)
+
+#ifndef LEGACY_GUARD_HH
+#define LEGACY_GUARD_HH
+
+namespace bctrl {
+
+struct GuardFixture {};
+
+} // namespace bctrl
+
+#endif // LEGACY_GUARD_HH

@@ -1,0 +1,23 @@
+// bclint fixture: a derived-class virtual that re-declares without
+// `override` silently stops overriding when the base signature drifts.
+
+#include <string>
+
+namespace bctrl {
+
+class Base
+{
+  public:
+    virtual ~Base();
+    virtual void process();
+    virtual std::string name() const;
+};
+
+class Derived : public Base
+{
+  public:
+    virtual void process();
+    virtual std::string name() const { return "derived"; }
+};
+
+} // namespace bctrl

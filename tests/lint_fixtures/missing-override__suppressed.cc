@@ -1,0 +1,25 @@
+// bclint fixture: the compliant spellings (plus one suppressed
+// violation) produce no findings. New pure-virtual interface points in
+// a derived class are exempt by design.
+
+#include <string>
+
+namespace bctrl {
+
+class Base
+{
+  public:
+    virtual ~Base();
+    virtual void process();
+};
+
+class Derived : public Base
+{
+  public:
+    void process() override;
+    virtual void extendInterface() = 0;
+    // bclint:allow(missing-override)
+    virtual std::string name() const;
+};
+
+} // namespace bctrl

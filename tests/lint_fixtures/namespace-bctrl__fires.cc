@@ -1,0 +1,9 @@
+// bclint fixture: simulation code outside namespace bctrl.
+
+int looseGlobal = 0;
+
+int
+looseFunction()
+{
+    return looseGlobal;
+}

@@ -1,0 +1,9 @@
+// bclint fixture: namespace-exempt code (e.g. a main() entry point)
+// silenced with the file-level suppression.
+// bclint:allow-file(namespace-bctrl)
+
+int
+main()
+{
+    return 0;
+}

@@ -1,0 +1,24 @@
+// bclint fixture: the nondeterminism rule must fire on libc PRNG and
+// wall-clock time sources. Never compiled, only linted.
+
+#include <chrono>
+#include <cstdlib>
+#include <random>
+
+namespace bctrl {
+
+unsigned
+badSeed()
+{
+    std::random_device rd;
+    return rd() + static_cast<unsigned>(rand());
+}
+
+long
+badClock()
+{
+    auto now = std::chrono::steady_clock::now();
+    return now.time_since_epoch().count() + time(nullptr);
+}
+
+} // namespace bctrl

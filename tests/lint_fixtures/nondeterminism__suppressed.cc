@@ -1,0 +1,17 @@
+// bclint fixture: the same nondeterminism sources, silenced with both
+// suppression forms (same-line and preceding-line).
+
+#include <cstdlib>
+#include <random>
+
+namespace bctrl {
+
+unsigned
+allowedSeed()
+{
+    std::random_device rd; // bclint:allow(nondeterminism)
+    // bclint:allow(nondeterminism)
+    return rd() + static_cast<unsigned>(rand());
+}
+
+} // namespace bctrl

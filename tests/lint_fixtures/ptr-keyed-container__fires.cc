@@ -1,0 +1,14 @@
+// bclint fixture: pointer-keyed unordered containers iterate in
+// allocation order, which differs run to run.
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace bctrl {
+
+struct Packet;
+
+std::unordered_map<Packet *, int> byPacket;
+std::unordered_set<const void *> seen;
+
+} // namespace bctrl

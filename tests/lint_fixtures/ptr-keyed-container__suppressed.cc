@@ -1,0 +1,14 @@
+// bclint fixture: a pointer-keyed container whose uses never iterate
+// may be suppressed explicitly.
+
+#include <unordered_map>
+
+namespace bctrl {
+
+struct Packet;
+
+// Lookup only, never iterated: order independence is irrelevant.
+// bclint:allow(ptr-keyed-container)
+std::unordered_map<Packet *, int> byPacket;
+
+} // namespace bctrl

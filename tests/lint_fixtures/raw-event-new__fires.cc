@@ -1,0 +1,15 @@
+// bclint fixture: heap-allocating Event subclasses outside the
+// EventQueue loses the queue's ownership guarantees.
+
+namespace bctrl {
+
+class LambdaEvent;
+
+void
+leakyScheduler()
+{
+    auto *ev = new LambdaEvent();
+    (void)ev;
+}
+
+} // namespace bctrl

@@ -1,0 +1,15 @@
+// bclint fixture: an allowed raw Event allocation (e.g. a test that
+// exercises queue ownership directly).
+
+namespace bctrl {
+
+class LambdaEvent;
+
+void
+ownershipTest()
+{
+    auto *ev = new LambdaEvent(); // bclint:allow(raw-event-new)
+    (void)ev;
+}
+
+} // namespace bctrl

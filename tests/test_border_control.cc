@@ -259,11 +259,11 @@ TEST_F(BorderControlTest, LargePageInsertionCoversAllPages)
     // Every 4 KB page under the 2 MB mapping is permitted (§3.4.4).
     for (Addr off : {Addr(0), Addr(5), Addr(511)}) {
         EXPECT_FALSE(
-            send(bc, MemCmd::Read, (base_ppn + off) << pageShift).first)
+            send(bc, MemCmd::Read, pageBase(base_ppn + off)).first)
             << "page offset " << off;
     }
     EXPECT_TRUE(
-        send(bc, MemCmd::Read, (base_ppn + 512) << pageShift).first);
+        send(bc, MemCmd::Read, pageBase(base_ppn + 512)).first);
 }
 
 TEST_F(BorderControlTest, DowngradeRevokesSelectively)
@@ -296,7 +296,7 @@ TEST_F(BorderControlTest, OutOfBoundsPhysicalAddressDenied)
     bc.attachTable(table.get());
     bc.incrUseCount();
     // §3.2.3: the table is only checked after the bounds register.
-    EXPECT_TRUE(send(bc, MemCmd::Read, Addr(300) << pageShift).first);
+    EXPECT_TRUE(send(bc, MemCmd::Read, pageBase(300)).first);
 }
 
 TEST_F(BorderControlTest, TrustedTrafficBypassesChecks)

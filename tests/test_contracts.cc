@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Death tests for the BCTRL_ASSERT contract macros.
+ *
+ * Contracts are forced on for this translation unit regardless of the
+ * build type: contracts.hh honours a pre-existing definition of
+ * BCTRL_CONTRACTS_ENABLED, and the failure handler is always compiled
+ * into the library. Only contracts.hh may be included here — pulling in
+ * headers with inline functions that use BCTRL_ASSERT would create ODR
+ * variants of them.
+ */
+
+#ifdef BCTRL_CONTRACTS_ENABLED
+#undef BCTRL_CONTRACTS_ENABLED
+#endif
+#define BCTRL_CONTRACTS_ENABLED 1
+
+#include "sim/contracts.hh"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+class ContractsDeathTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    }
+};
+
+TEST(ContractsTest, PassingAssertIsSilent)
+{
+    BCTRL_ASSERT(1 + 1 == 2);
+    BCTRL_ASSERT_MSG(2 * 2 == 4, "never printed %d", 4);
+    SUCCEED();
+}
+
+TEST(ContractsTest, ConditionEvaluatedExactlyOnce)
+{
+    int calls = 0;
+    BCTRL_ASSERT(++calls > 0);
+    EXPECT_EQ(calls, 1);
+}
+
+TEST_F(ContractsDeathTest, FailingAssertAbortsWithExpression)
+{
+    EXPECT_DEATH(BCTRL_ASSERT(2 + 2 == 5),
+                 "contract violated: 2 \\+ 2 == 5");
+}
+
+TEST_F(ContractsDeathTest, FailureReportsSourceLocation)
+{
+    EXPECT_DEATH(BCTRL_ASSERT(false), "test_contracts\\.cc");
+}
+
+TEST_F(ContractsDeathTest, MessageIsFormattedIntoReport)
+{
+    EXPECT_DEATH(
+        BCTRL_ASSERT_MSG(false, "ppn 0x%llx diverged (%s)",
+                         0x2aULL, "details"),
+        "ppn 0x2a diverged \\(details\\)");
+}
+
+} // namespace

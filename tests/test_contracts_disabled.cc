@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Verifies the compiled-out form of the contract macros: with
+ * BCTRL_CONTRACTS_ENABLED forced to 0 in this translation unit, the
+ * condition must be parsed but never evaluated, so contracts on hot
+ * paths are free in release builds even when their conditions have
+ * side effects or call functions.
+ */
+
+#ifdef BCTRL_CONTRACTS_ENABLED
+#undef BCTRL_CONTRACTS_ENABLED
+#endif
+#define BCTRL_CONTRACTS_ENABLED 0
+
+#include "sim/contracts.hh"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+int
+mustNotRun(int &calls)
+{
+    return ++calls;
+}
+
+TEST(ContractsDisabledTest, ConditionIsNeverEvaluated)
+{
+    int calls = 0;
+    BCTRL_ASSERT(mustNotRun(calls) == 123);
+    BCTRL_ASSERT_MSG(mustNotRun(calls) == 456, "never printed");
+    EXPECT_EQ(calls, 0);
+}
+
+TEST(ContractsDisabledTest, FalseConditionDoesNotAbort)
+{
+    BCTRL_ASSERT(false);
+    BCTRL_ASSERT_MSG(false, "never printed");
+    SUCCEED();
+}
+
+} // namespace

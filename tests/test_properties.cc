@@ -53,7 +53,7 @@ pageTableUnion(const std::vector<Process *> &procs,
             if (key.first != proc->asid() || mapped_ppn != ppn)
                 continue;
             WalkResult w =
-                proc->pageTable().walk(key.second << pageShift);
+                proc->pageTable().walk(pageBase(key.second));
             if (w.valid)
                 u = u | w.perms;
         }
@@ -110,14 +110,14 @@ TEST_P(ProtectionInvariantTest, TableNeverExceedsPageTable)
             Addr frame = h.kernel.allocFrame();
             Perms perms = rng.nextBool(0.5) ? Perms::readWrite()
                                             : Perms::readOnly();
-            proc.pageTable().map(vpn << pageShift, frame, perms);
+            proc.pageTable().map(pageBase(vpn), frame, perms);
             mappings[key] = pageNumber(frame);
             break;
           }
           case 1: { // ATS translation: lazy table insertion
             if (!mappings.count(key))
                 break;
-            WalkResult w = proc.pageTable().walk(vpn << pageShift);
+            WalkResult w = proc.pageTable().walk(pageBase(vpn));
             if (!w.valid)
                 break;
             h.bc.onTranslation(proc.asid(), vpn,
@@ -128,10 +128,10 @@ TEST_P(ProtectionInvariantTest, TableNeverExceedsPageTable)
           case 2: { // permission downgrade with the BC protocol
             if (!mappings.count(key))
                 break;
-            WalkResult w = proc.pageTable().walk(vpn << pageShift);
+            WalkResult w = proc.pageTable().walk(pageBase(vpn));
             if (!w.valid)
                 break;
-            proc.pageTable().protect(vpn << pageShift,
+            proc.pageTable().protect(pageBase(vpn),
                                      Perms::readOnly());
             // Mirror the kernel's downgrade path (no accelerator in
             // this harness, so the flush is vacuous).
@@ -141,8 +141,8 @@ TEST_P(ProtectionInvariantTest, TableNeverExceedsPageTable)
           case 3: { // unmap + revoke
             if (!mappings.count(key))
                 break;
-            WalkResult w = proc.pageTable().walk(vpn << pageShift);
-            proc.pageTable().unmap(vpn << pageShift);
+            WalkResult w = proc.pageTable().walk(pageBase(vpn));
+            proc.pageTable().unmap(pageBase(vpn));
             if (w.valid)
                 h.bc.downgradePage(pageNumber(w.paddr),
                                    Perms::noAccess());
@@ -228,7 +228,7 @@ TEST_P(ProtectionInvariantTest, RandomRogueRequestsAlwaysDenied)
         bool responded = false;
         auto pkt = Packet::make(
             rng.nextBool(0.5) ? MemCmd::Read : MemCmd::Write,
-            (ppn << pageShift) | rng.nextBounded(pageSize / 64) * 64,
+            pageBase(ppn) | rng.nextBounded(pageSize / 64) * 64,
             64, Requestor::accelerator);
         pkt->onResponse = [&](Packet &r) {
             responded = true;

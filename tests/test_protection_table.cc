@@ -94,7 +94,7 @@ TEST_F(ProtectionTableTest, PaperStorageOverheadFigures)
     EXPECT_NEAR(table.overheadFraction(), 0.00006103, 1e-7);
 
     // A 16 GB system needs a 1 MB table (paper's example)...
-    const Addr ppns_16gb = (16ULL << 30) >> pageShift;
+    const Addr ppns_16gb = pageNumber(16ULL << 30);
     BackingStore big(1 << 20);
     ProtectionTable sized(big, 0, std::min<Addr>(ppns_16gb, 4 << 20));
     EXPECT_EQ(sized.sizeBytes(), 1ULL << 20);
@@ -104,7 +104,7 @@ TEST_F(ProtectionTableTest, Table3SizeFor3GbSystem)
 {
     // Table 3 lists a 196 KB Protection Table: 3 GB of physical memory
     // at 2 bits per 4 KB page = 196,608 bytes.
-    const Addr ppns = (3ULL << 30) >> pageShift;
+    const Addr ppns = pageNumber(3ULL << 30);
     BackingStore mem(1 << 20);
     ProtectionTable table(mem, 0, ppns);
     EXPECT_EQ(table.sizeBytes(), 196'608u);

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Sanitizer smoke run, registered as the `sanitize_smoke` ctest (label
+# `sanitize`): configures a separate ASan+UBSan build of this source
+# tree — with invariant contracts and -Werror forced on — builds the
+# unit tests and the simulator driver, then runs the full unit suite
+# and one micro workload under the sanitizers. Any ASan/UBSan report or
+# contract violation fails the run.
+#
+# usage: sanitize_smoke.sh <source-dir> <build-dir>
+set -euo pipefail
+
+src="${1:?usage: sanitize_smoke.sh <source-dir> <build-dir>}"
+build="${2:?usage: sanitize_smoke.sh <source-dir> <build-dir>}"
+
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+# abort_on_error gives death-test-friendly aborts; leak detection stays
+# at its default (enabled) so dropped Events/Packets are reported.
+export ASAN_OPTIONS="${ASAN_OPTIONS:-abort_on_error=0:detect_leaks=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}"
+
+echo "== configure (address,undefined; contracts on; -Werror) =="
+cmake -S "$src" -B "$build" \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DBCTRL_SANITIZE=address,undefined \
+      -DBCTRL_CONTRACTS=ON \
+      -DBCTRL_WERROR=ON
+
+echo "== build =="
+cmake --build "$build" --target bctrl_tests bctrl-sim -j "$jobs"
+
+echo "== unit tests under ASan+UBSan =="
+"$build/tests/bctrl_tests" --gtest_brief=1
+
+echo "== micro workload under ASan+UBSan =="
+"$build/tools/bctrl-sim" --workload uniform --safety bc-bcc --scale 1
+
+echo "sanitize smoke: clean"
