@@ -9,9 +9,13 @@
  *     every miss path.
  *  2. Full-flush+zero vs. selective per-page flush on permission
  *     downgrades (§3.2.4's optimization), under a downgrade storm.
+ *
+ * Both sections run their configuration pairs concurrently on the
+ * sweep engine.
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "bench_common.hh"
 
@@ -24,29 +28,42 @@ main()
     banner("Ablation: Border Control design choices",
            "design decisions of sections 3.1.1 and 3.2.4");
 
+    const GpuProfile profiles[] = {GpuProfile::highlyThreaded,
+                                   GpuProfile::moderatelyThreaded};
+
     std::printf("1) Read-check overlap (BC-noBCC, where every check "
                 "pays the table latency)\n");
     std::printf("%-11s %-22s %14s %14s %10s\n", "workload", "profile",
                 "overlapped(cy)", "serialized(cy)", "penalty");
-    for (GpuProfile profile : {GpuProfile::highlyThreaded,
-                               GpuProfile::moderatelyThreaded}) {
-        for (const std::string wl : {"bfs", "lud", "pathfinder"}) {
-            SystemConfig base;
-            base.safety = SafetyModel::borderControlNoBcc;
-            base.profile = profile;
-            RunResult overlap =
-                runOne(wl, SafetyModel::borderControlNoBcc, profile,
-                       base);
-            SystemConfig ser = base;
-            ser.bcSerializeReadChecks = true;
-            RunResult serial = runOne(
-                wl, SafetyModel::borderControlNoBcc, profile, ser);
-            std::printf("%-11s %-22s %14.0f %14.0f %9.2f%%\n",
-                        wl.c_str(), gpuProfileName(profile),
-                        overlap.gpuCycles, serial.gpuCycles,
-                        100.0 * (serial.gpuCycles / overlap.gpuCycles -
-                                 1.0));
-            std::fflush(stdout);
+    {
+        const std::vector<std::string> workloads = {"bfs", "lud",
+                                                    "pathfinder"};
+        // Pairs of (overlapped, serialized) per (profile, workload).
+        std::vector<SweepPoint> points;
+        for (GpuProfile profile : profiles) {
+            for (const std::string &wl : workloads) {
+                SweepPoint p;
+                p.workload = wl;
+                p.config.safety = SafetyModel::borderControlNoBcc;
+                p.config.profile = profile;
+                points.push_back(p);
+                p.config.bcSerializeReadChecks = true;
+                points.push_back(std::move(p));
+            }
+        }
+        const std::vector<SweepOutcome> outcomes = sweep(points);
+        std::size_t idx = 0;
+        for (GpuProfile profile : profiles) {
+            for (const std::string &wl : workloads) {
+                const RunResult &overlap = outcomes[idx++].result;
+                const RunResult &serial = outcomes[idx++].result;
+                std::printf("%-11s %-22s %14.0f %14.0f %9.2f%%\n",
+                            wl.c_str(), gpuProfileName(profile),
+                            overlap.gpuCycles, serial.gpuCycles,
+                            100.0 * (serial.gpuCycles /
+                                         overlap.gpuCycles -
+                                     1.0));
+            }
         }
     }
 
@@ -54,24 +71,30 @@ main()
                 "(hotspot, 50k/s)\n");
     std::printf("%-22s %16s %16s\n", "profile", "full+zero(cy)",
                 "selective(cy)");
-    for (GpuProfile profile : {GpuProfile::highlyThreaded,
-                               GpuProfile::moderatelyThreaded}) {
-        SystemConfig full;
-        full.profile = profile;
-        full.downgradesPerSecond = 50'000;
-        full.workloadScale = 2;
-        RunResult r_full = runOne(
-            "hotspot", SafetyModel::borderControlBcc, profile, full);
-        SystemConfig sel = full;
-        sel.selectiveFlush = true;
-        RunResult r_sel = runOne("hotspot",
-                                 SafetyModel::borderControlBcc,
-                                 profile, sel);
-        std::printf("%-22s %16.0f %16.0f  (%llu downgrades)\n",
-                    gpuProfileName(profile), r_full.gpuCycles,
-                    r_sel.gpuCycles,
-                    (unsigned long long)r_full.downgrades);
-        std::fflush(stdout);
+    {
+        // Pairs of (full flush, selective flush) per profile.
+        std::vector<SweepPoint> points;
+        for (GpuProfile profile : profiles) {
+            SweepPoint p;
+            p.workload = "hotspot";
+            p.config.safety = SafetyModel::borderControlBcc;
+            p.config.profile = profile;
+            p.config.downgradesPerSecond = 50'000;
+            p.config.workloadScale = 2;
+            points.push_back(p);
+            p.config.selectiveFlush = true;
+            points.push_back(std::move(p));
+        }
+        const std::vector<SweepOutcome> outcomes = sweep(points);
+        std::size_t idx = 0;
+        for (GpuProfile profile : profiles) {
+            const RunResult &r_full = outcomes[idx++].result;
+            const RunResult &r_sel = outcomes[idx++].result;
+            std::printf("%-22s %16.0f %16.0f  (%llu downgrades)\n",
+                        gpuProfileName(profile), r_full.gpuCycles,
+                        r_sel.gpuCycles,
+                        (unsigned long long)r_full.downgrades);
+        }
     }
 
     std::printf("\nExpectations: serializing read checks costs "

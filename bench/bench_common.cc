@@ -1,7 +1,10 @@
 #include "bench_common.hh"
 
+#include <charconv>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <thread>
 
 #include "sim/logging.hh"
 
@@ -20,16 +23,66 @@ runOne(const std::string &workload, SafetyModel safety,
     return sys.run(workload);
 }
 
+std::vector<SweepPoint>
+matrixPoints(const std::vector<std::string> &workloads,
+             const std::vector<SafetyModel> &safeties,
+             const std::vector<GpuProfile> &profiles,
+             const SystemConfig &base)
+{
+    std::vector<SweepPoint> points;
+    points.reserve(workloads.size() * safeties.size() * profiles.size());
+    for (GpuProfile profile : profiles) {
+        for (const std::string &wl : workloads) {
+            for (SafetyModel safety : safeties) {
+                SweepPoint p;
+                p.workload = wl;
+                p.config = base;
+                p.config.safety = safety;
+                p.config.profile = profile;
+                points.push_back(std::move(p));
+            }
+        }
+    }
+    return points;
+}
+
+unsigned
+sweepJobs()
+{
+    if (const char *env = std::getenv("BCTRL_SWEEP_JOBS")) {
+        const long v = std::strtol(env, nullptr, 10);
+        if (v > 0)
+            return static_cast<unsigned>(v);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw != 0 ? hw : 1;
+}
+
+std::vector<SweepOutcome>
+sweep(const std::vector<SweepPoint> &points, unsigned jobs)
+{
+    setLogVerbose(false);
+    SweepOptions opts;
+    opts.jobs = jobs != 0 ? jobs : sweepJobs();
+    return runSweep(points, opts);
+}
+
 double
 geomeanOverhead(const std::vector<double> &overheads)
 {
-    if (overheads.empty())
-        return 0.0;
     double log_sum = 0.0;
-    for (double o : overheads)
-        log_sum += std::log(1.0 + o);
-    return std::exp(log_sum / static_cast<double>(overheads.size())) -
-           1.0;
+    std::size_t used = 0;
+    for (double o : overheads) {
+        if (!std::isfinite(o) || o <= -1.0) {
+            warn("geomeanOverhead: skipping degenerate overhead %f", o);
+            continue;
+        }
+        log_sum += std::log1p(o);
+        ++used;
+    }
+    if (used == 0)
+        return 0.0;
+    return std::expm1(log_sum / static_cast<double>(used));
 }
 
 void
@@ -44,11 +97,35 @@ banner(const std::string &title, const std::string &paper_ref)
 }
 
 std::string
+formatFixed(double v, int decimals)
+{
+    if (!std::isfinite(v))
+        return std::isnan(v) ? "nan" : (v > 0 ? "inf" : "-inf");
+    char buf[64];
+    // std::to_chars never consults the locale, unlike snprintf("%f").
+    const auto res = std::to_chars(buf, buf + sizeof(buf), v,
+                                   std::chars_format::fixed, decimals);
+    if (res.ec != std::errc())
+        return "0";
+    return std::string(buf, res.ptr);
+}
+
+std::string
+formatDouble(double v)
+{
+    if (!std::isfinite(v))
+        return "0"; // JSON has no representation for inf/nan
+    char buf[64];
+    const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    if (res.ec != std::errc())
+        return "0";
+    return std::string(buf, res.ptr);
+}
+
+std::string
 pct(double overhead)
 {
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%.2f%%", 100.0 * overhead);
-    return buf;
+    return formatFixed(100.0 * overhead, 2) + "%";
 }
 
 } // namespace bench

@@ -5,6 +5,10 @@
  * moderately threaded (4b) GPU profiles, across the seven Rodinia
  * proxy workloads.
  *
+ * All 70 (profile × workload × safety) simulations run through the
+ * parallel sweep engine; results are read back by sweep index, so the
+ * printed table is identical whatever the worker count.
+ *
  * Expected shape (paper §5.2): Full IOMMU >> CAPI-like >
  * BC-noBCC > BC-BCC ~= 0; the full IOMMU is far worse on the highly
  * threaded GPU (DRAM overwhelmed without the caches), while the
@@ -26,12 +30,21 @@ main()
     banner("Figure 4: Runtime overhead vs. ATS-only IOMMU",
            "Figure 4(a)/(b)");
 
-    const SafetyModel safe_models[] = {
-        SafetyModel::fullIommu, SafetyModel::capiLike,
-        SafetyModel::borderControlNoBcc, SafetyModel::borderControlBcc};
+    // Baseline first: within each (profile, workload) group the five
+    // outcomes are indexed in this order.
+    const std::vector<SafetyModel> models = {
+        SafetyModel::atsOnlyIommu, SafetyModel::fullIommu,
+        SafetyModel::capiLike, SafetyModel::borderControlNoBcc,
+        SafetyModel::borderControlBcc};
+    const std::vector<GpuProfile> profiles = {
+        GpuProfile::highlyThreaded, GpuProfile::moderatelyThreaded};
+    const std::vector<std::string> &workloads = rodiniaWorkloadNames();
 
-    for (GpuProfile profile : {GpuProfile::highlyThreaded,
-                               GpuProfile::moderatelyThreaded}) {
+    const std::vector<SweepOutcome> outcomes =
+        sweep(matrixPoints(workloads, models, profiles));
+
+    std::size_t idx = 0;
+    for (GpuProfile profile : profiles) {
         std::printf("--- Figure 4%s: %s GPU ---\n",
                     profile == GpuProfile::highlyThreaded ? "a" : "b",
                     gpuProfileName(profile));
@@ -40,18 +53,16 @@ main()
                     "BC-noBCC", "BC-BCC");
 
         std::vector<double> overheads[4];
-        for (const auto &wl : rodiniaWorkloadNames()) {
-            RunResult base =
-                runOne(wl, SafetyModel::atsOnlyIommu, profile);
+        for (const auto &wl : workloads) {
+            const RunResult &base = outcomes[idx++].result;
             std::printf("%-11s %12.0f", wl.c_str(), base.gpuCycles);
             for (int i = 0; i < 4; ++i) {
-                RunResult r = runOne(wl, safe_models[i], profile);
+                const RunResult &r = outcomes[idx++].result;
                 double overhead = r.gpuCycles / base.gpuCycles - 1.0;
                 overheads[i].push_back(overhead);
                 std::printf(" %12s", pct(overhead).c_str());
             }
             std::printf("\n");
-            std::fflush(stdout);
         }
 
         std::printf("%-11s %12s", "geomean", "");

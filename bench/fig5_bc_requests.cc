@@ -4,6 +4,8 @@
  * highly threaded GPU. Paper: ~0.025 (backprop) to ~0.29 (bfs),
  * average ~0.11 — demonstrating that Border Control bandwidth is not
  * a bottleneck because the private accelerator caches filter traffic.
+ *
+ * The seven workload runs execute concurrently on the sweep engine.
  */
 
 #include <cstdio>
@@ -22,27 +24,29 @@ main()
     std::printf("%-11s %14s %12s %14s\n", "workload", "border reqs",
                 "GPU cycles", "reqs/cycle");
 
+    const std::vector<SweepOutcome> outcomes = sweep(matrixPoints(
+        rodiniaWorkloadNames(), {SafetyModel::borderControlBcc},
+        {GpuProfile::highlyThreaded}));
+
     double sum = 0;
     double min_rate = 1e9, max_rate = 0;
     std::string min_wl, max_wl;
-    for (const auto &wl : rodiniaWorkloadNames()) {
-        RunResult r = runOne(wl, SafetyModel::borderControlBcc,
-                             GpuProfile::highlyThreaded);
-        std::printf("%-11s %14llu %12.0f %14.4f\n", wl.c_str(),
+    for (const SweepOutcome &o : outcomes) {
+        const RunResult &r = o.result;
+        std::printf("%-11s %14llu %12.0f %14.4f\n", o.workload.c_str(),
                     (unsigned long long)r.borderRequests, r.gpuCycles,
                     r.borderRequestsPerCycle);
         sum += r.borderRequestsPerCycle;
         if (r.borderRequestsPerCycle < min_rate) {
             min_rate = r.borderRequestsPerCycle;
-            min_wl = wl;
+            min_wl = o.workload;
         }
         if (r.borderRequestsPerCycle > max_rate) {
             max_rate = r.borderRequestsPerCycle;
-            max_wl = wl;
+            max_wl = o.workload;
         }
-        std::fflush(stdout);
     }
-    const double avg = sum / rodiniaWorkloadNames().size();
+    const double avg = sum / outcomes.size();
     std::printf("%-11s %14s %12s %14.4f\n", "AVG", "", "", avg);
 
     std::printf("\nPaper: min backprop ~0.025, max bfs ~0.29, avg "

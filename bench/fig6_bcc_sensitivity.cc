@@ -11,7 +11,9 @@
  * Method: capture each workload's border-crossing PPN trace from one
  * full-system run (via BorderControl's trace hook), then replay the
  * traces through standalone BCC models of every geometry — the same
- * trace-driven methodology architects use for cache sweeps.
+ * trace-driven methodology architects use for cache sweeps. The seven
+ * capture runs execute concurrently on the sweep engine; each run's
+ * prepare hook appends only to its own per-index trace slot.
  */
 
 #include <cstdio>
@@ -54,21 +56,26 @@ main()
            "Figure 6");
     setLogVerbose(false);
 
-    // Capture border traces once per workload.
-    std::vector<std::vector<Addr>> traces;
-    for (const auto &wl : rodiniaWorkloadNames()) {
-        SystemConfig cfg;
-        cfg.safety = SafetyModel::borderControlBcc;
-        cfg.profile = GpuProfile::highlyThreaded;
-        System sys(cfg);
-        std::vector<Addr> trace;
-        sys.borderControl()->setCheckTraceHook(
-            [&trace](Addr ppn) { trace.push_back(ppn); });
-        sys.run(wl);
-        std::printf("captured %-11s: %zu border requests\n", wl.c_str(),
-                    trace.size());
-        traces.push_back(std::move(trace));
+    // Capture border traces once per workload, in parallel. Each
+    // point's hook writes into its own trace slot, so the sweep
+    // workers never share mutable state.
+    const std::vector<std::string> &workloads = rodiniaWorkloadNames();
+    std::vector<std::vector<Addr>> traces(workloads.size());
+    std::vector<SweepPoint> points =
+        matrixPoints(workloads, {SafetyModel::borderControlBcc},
+                     {GpuProfile::highlyThreaded});
+    for (SweepPoint &p : points) {
+        p.prepare = [&traces](System &sys, std::size_t index) {
+            sys.borderControl()->setCheckTraceHook(
+                [&traces, index](Addr ppn) {
+                    traces[index].push_back(ppn);
+                });
+        };
     }
+    const std::vector<SweepOutcome> outcomes = sweep(points);
+    for (const SweepOutcome &o : outcomes)
+        std::printf("captured %-11s: %zu border requests\n",
+                    o.workload.c_str(), traces[o.index].size());
 
     BackingStore store(1ULL << 31);
     ProtectionTable table(store, 0, store.numPages());

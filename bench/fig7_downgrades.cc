@@ -4,6 +4,9 @@
  * varies from 0 to 1000 per second, for Border Control-BCC and the
  * unsafe ATS-only baseline, on both GPU profiles.
  *
+ * All 24 (series × rate) runs execute concurrently on the sweep
+ * engine; the table is assembled from results by sweep index.
+ *
  * Expected shape (paper §5.2.4): overhead stays small (fractions of a
  * percent) across the whole range — including the 10-200/s band of
  * today's context-switch rates — and Border Control pays roughly
@@ -19,24 +22,6 @@
 using namespace bctrl;
 using namespace bctrl::bench;
 
-namespace {
-
-double
-runtimeWithRate(SafetyModel model, GpuProfile profile, double rate)
-{
-    SystemConfig cfg;
-    cfg.safety = model;
-    cfg.profile = profile;
-    // Lengthen the run so several downgrades land within it.
-    cfg.workloadScale =
-        profile == GpuProfile::highlyThreaded ? 32 : 8;
-    cfg.downgradesPerSecond = rate;
-    System sys(cfg);
-    return static_cast<double>(sys.run("hotspot").runtimeTicks);
-}
-
-} // namespace
-
 int
 main()
 {
@@ -44,12 +29,12 @@ main()
            "Figure 7");
 
     const double rates[] = {0, 200, 400, 600, 800, 1000};
+    constexpr std::size_t num_rates = std::size(rates);
 
     struct Series {
         SafetyModel model;
         GpuProfile profile;
         const char *label;
-        double base = 0;
     } series[] = {
         {SafetyModel::borderControlBcc, GpuProfile::highlyThreaded,
          "BC-BCC highly threaded"},
@@ -61,30 +46,49 @@ main()
          "ATS-only moderately threaded"},
     };
 
+    // Point (s, r) lives at sweep index s * num_rates + r.
+    std::vector<SweepPoint> points;
+    for (const Series &s : series) {
+        for (double r : rates) {
+            SweepPoint p;
+            p.workload = "hotspot";
+            p.config.safety = s.model;
+            p.config.profile = s.profile;
+            // Lengthen the run so several downgrades land within it.
+            p.config.workloadScale =
+                s.profile == GpuProfile::highlyThreaded ? 32 : 8;
+            p.config.downgradesPerSecond = r;
+            points.push_back(std::move(p));
+        }
+    }
+    const std::vector<SweepOutcome> outcomes = sweep(points);
+
     std::printf("%-30s", "downgrades/sec");
     for (double r : rates)
         std::printf(" %9.0f", r);
     std::printf("\n");
 
     double bc_max = 0, ats_max = 0;
-    for (Series &s : series) {
+    for (std::size_t si = 0; si < std::size(series); ++si) {
+        const Series &s = series[si];
         std::printf("%-30s", s.label);
-        for (double r : rates) {
-            double rt = runtimeWithRate(s.model, s.profile, r);
-            if (r == 0) {
-                s.base = rt;
+        const double base = static_cast<double>(
+            outcomes[si * num_rates].result.runtimeTicks);
+        for (std::size_t ri = 0; ri < num_rates; ++ri) {
+            const double rt = static_cast<double>(
+                outcomes[si * num_rates + ri].result.runtimeTicks);
+            if (ri == 0) {
                 std::printf(" %8.2f%%", 0.0);
-            } else {
-                double overhead = rt / s.base - 1.0;
-                std::printf(" %8.2f%%", 100.0 * overhead);
-                if (r == 1000) {
-                    if (s.model == SafetyModel::borderControlBcc)
-                        bc_max = std::max(bc_max, overhead);
-                    else
-                        ats_max = std::max(ats_max, overhead);
-                }
+                continue;
             }
-            std::fflush(stdout);
+            const double overhead = rt / base - 1.0;
+            std::printf(" %8.2f%%", 100.0 * overhead);
+            if (rates[ri] == 1000) {
+                if (s.model == SafetyModel::borderControlBcc)
+                    bc_max = std::max(bc_max, overhead);
+                else
+                    ats_max = std::max(ats_max, overhead);
+            }
         }
         std::printf("\n");
     }

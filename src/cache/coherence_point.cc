@@ -17,6 +17,7 @@ CoherencePoint::CoherencePoint(EventQueue &eq, const std::string &name,
           "demotions",
           "read-only accelerator fills of dirty data written back first"))
 {
+    blocks_.reserve(params_.reserveBlocks);
 }
 
 void

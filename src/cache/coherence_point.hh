@@ -33,6 +33,13 @@ class CoherencePoint : public SimObject, public MemDevice
         Tick latency = 4'000; // 4 ns
         /** Extra latency when a recall from the other side is needed. */
         Tick recallPenalty = 30'000; // 30 ns
+        /**
+         * Buckets reserved in the block-state map up front. The map
+         * grows with every block ever touched, so rehash-on-insert sits
+         * directly on the memory hot path; one run of a Rodinia proxy
+         * touches tens of thousands of blocks.
+         */
+        std::size_t reserveBlocks = 1 << 16;
     };
 
     CoherencePoint(EventQueue &eq, const std::string &name,

@@ -25,7 +25,12 @@ struct Mshr {
 class MshrQueue
 {
   public:
-    explicit MshrQueue(unsigned capacity) : capacity_(capacity) {}
+    explicit MshrQueue(unsigned capacity) : capacity_(capacity)
+    {
+        // The table never holds more than `capacity` entries; reserving
+        // once here keeps allocate()/release() rehash-free forever.
+        entries_.reserve(capacity);
+    }
 
     /** @return the MSHR tracking @p block_addr, or nullptr. */
     Mshr *find(Addr block_addr);

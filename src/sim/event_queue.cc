@@ -4,6 +4,29 @@
 
 namespace bctrl {
 
+namespace {
+/**
+ * Initial heap reservation. A typical run keeps a few hundred events
+ * in flight; reserving up front avoids the first several doublings of
+ * the underlying vector on every System construction.
+ */
+constexpr std::size_t initialHeapCapacity = 1024;
+
+/**
+ * Free-list pools larger than this are trimmed by deleting returned
+ * events instead of parking them, bounding idle memory after a burst.
+ */
+constexpr std::size_t maxLambdaPool = 4096;
+} // namespace
+
+EventQueue::EventQueue()
+{
+    std::vector<Entry> storage;
+    storage.reserve(initialHeapCapacity);
+    heap_ = std::priority_queue<Entry, std::vector<Entry>, EntryCompare>(
+        EntryCompare{}, std::move(storage));
+}
+
 EventQueue::~EventQueue()
 {
     // Drain the heap, deleting any queue-owned lambda events that never
@@ -14,6 +37,35 @@ EventQueue::~EventQueue()
         if (e.ownedLambda)
             delete e.event;
     }
+    for (LambdaEvent *ev : lambdaPool_)
+        delete ev;
+}
+
+LambdaEvent *
+EventQueue::acquireLambda(std::function<void()> fn, int priority)
+{
+    if (lambdaPool_.empty()) {
+        ++lambdaAllocs_;
+        return new LambdaEvent(std::move(fn), priority);
+    }
+    LambdaEvent *ev = lambdaPool_.back();
+    lambdaPool_.pop_back();
+    ev->rearm(std::move(fn), priority);
+    return ev;
+}
+
+void
+EventQueue::recycleLambda(Event *ev)
+{
+    auto *lev = static_cast<LambdaEvent *>(ev);
+    if (lambdaPool_.size() >= maxLambdaPool) {
+        delete lev;
+        return;
+    }
+    // Release captured state (shared_ptrs, references) now, not at the
+    // next reuse; callers rely on callback destruction after firing.
+    lev->disarm();
+    lambdaPool_.push_back(lev);
 }
 
 void
@@ -73,14 +125,18 @@ void
 EventQueue::scheduleLambda(std::function<void()> fn, Tick when,
                            int priority)
 {
-    auto *ev = new LambdaEvent(std::move(fn), priority);
-    push(ev, when, true);
+    push(acquireLambda(std::move(fn), priority), when, true);
 }
 
 bool
-EventQueue::step()
+EventQueue::serviceOne(Tick maxTick)
 {
     while (!heap_.empty()) {
+        // One top() comparison decides both "past maxTick" and "what
+        // runs next"; run() then loops here without re-inspecting the
+        // heap between events.
+        if (heap_.top().when > maxTick)
+            return false;
         Entry e = heap_.top();
         heap_.pop();
         Event *ev = e.event;
@@ -90,7 +146,7 @@ EventQueue::step()
         if (ev->squashed_ && ev->sequence_ == e.sequence) {
             ev->squashed_ = false;
             if (e.ownedLambda)
-                delete ev;
+                recycleLambda(ev);
             continue;
         }
         if (!ev->scheduled_ || ev->sequence_ != e.sequence) {
@@ -112,19 +168,22 @@ EventQueue::step()
         ++processed_;
         ev->process();
         if (e.ownedLambda)
-            delete ev;
+            recycleLambda(ev);
         return true;
     }
     return false;
 }
 
+bool
+EventQueue::step()
+{
+    return serviceOne(tickNever);
+}
+
 Tick
 EventQueue::run(Tick maxTick)
 {
-    while (!heap_.empty()) {
-        if (heap_.top().when > maxTick)
-            break;
-        step();
+    while (serviceOne(maxTick)) {
     }
     return curTick_;
 }

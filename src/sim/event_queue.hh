@@ -63,6 +63,17 @@ class Event
 
     int priority() const { return priority_; }
 
+  protected:
+    /**
+     * Re-prioritize an event that is not currently scheduled (the
+     * LambdaEvent pool recycles events across priorities).
+     */
+    void
+    setPriority(int priority)
+    {
+        priority_ = priority;
+    }
+
   private:
     friend class EventQueue;
 
@@ -76,8 +87,10 @@ class Event
 /**
  * An Event wrapping a std::function, for one-off callbacks.
  *
- * Unlike plain Event the queue deletes a LambdaEvent after it fires (or
- * when a squashed instance is popped), so callers can schedule and forget.
+ * Unlike plain Event the queue owns a LambdaEvent: after it fires (or
+ * when a squashed instance is popped) the queue recycles it through a
+ * free-list pool, so callers can schedule and forget without paying a
+ * heap allocation per callback on the simulation's hottest path.
  */
 class LambdaEvent : public Event
 {
@@ -91,6 +104,19 @@ class LambdaEvent : public Event
     std::string name() const override { return "lambda-event"; }
 
   private:
+    friend class EventQueue;
+
+    /** Re-arm a pooled event with a new callback and priority. */
+    void
+    rearm(std::function<void()> fn, int priority)
+    {
+        fn_ = std::move(fn);
+        setPriority(priority);
+    }
+
+    /** Drop the callback (releases captured state while pooled). */
+    void disarm() { fn_ = nullptr; }
+
     std::function<void()> fn_;
 };
 
@@ -101,7 +127,7 @@ class LambdaEvent : public Event
 class EventQueue
 {
   public:
-    EventQueue() = default;
+    EventQueue();
     ~EventQueue();
 
     EventQueue(const EventQueue &) = delete;
@@ -149,6 +175,16 @@ class EventQueue
     /** Total events processed since construction. */
     std::uint64_t eventsProcessed() const { return processed_; }
 
+    /**
+     * LambdaEvents heap-allocated since construction. With the
+     * free-list pool this stays near the peak number of in-flight
+     * lambdas rather than growing with every scheduleLambda() call.
+     */
+    std::uint64_t lambdaAllocations() const { return lambdaAllocs_; }
+
+    /** LambdaEvents currently parked in the free-list pool. */
+    std::size_t lambdaPoolSize() const { return lambdaPool_.size(); }
+
   private:
     struct Entry {
         Tick when;
@@ -172,11 +208,26 @@ class EventQueue
 
     void push(Event *ev, Tick when, bool owned_lambda);
 
+    /**
+     * Pop and execute the next runnable event at or before @p maxTick,
+     * discarding stale (squashed / superseded) entries along the way.
+     * @return true if an event was executed.
+     */
+    bool serviceOne(Tick maxTick);
+
+    /** Take a LambdaEvent from the pool (or allocate one) and arm it. */
+    LambdaEvent *acquireLambda(std::function<void()> fn, int priority);
+
+    /** Return a fired or squashed queue-owned lambda to the pool. */
+    void recycleLambda(Event *ev);
+
     std::priority_queue<Entry, std::vector<Entry>, EntryCompare> heap_;
     Tick curTick_ = 0;
     std::uint64_t nextSequence_ = 0;
     std::uint64_t liveEvents_ = 0;
     std::uint64_t processed_ = 0;
+    std::vector<LambdaEvent *> lambdaPool_;
+    std::uint64_t lambdaAllocs_ = 0;
 };
 
 /**

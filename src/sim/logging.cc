@@ -1,5 +1,6 @@
 #include "sim/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
@@ -7,19 +8,22 @@
 namespace bctrl {
 
 namespace {
-bool verboseFlag = true;
+// The one sanctioned process-wide mutable: an atomic so concurrent
+// sweep workers may consult (and tests may toggle) verbosity without a
+// data race. Everything else simulation-visible lives per-System.
+std::atomic<bool> verboseFlag{true};
 } // namespace
 
 void
 setLogVerbose(bool verbose)
 {
-    verboseFlag = verbose;
+    verboseFlag.store(verbose, std::memory_order_relaxed);
 }
 
 bool
 logVerbose()
 {
-    return verboseFlag;
+    return verboseFlag.load(std::memory_order_relaxed);
 }
 
 std::string
@@ -71,7 +75,7 @@ fatalImpl(const char *file, int line, const char *fmt, ...)
 void
 warnImpl(const char *fmt, ...)
 {
-    if (!verboseFlag)
+    if (!logVerbose())
         return;
     std::va_list args;
     va_start(args, fmt);
@@ -83,7 +87,7 @@ warnImpl(const char *fmt, ...)
 void
 informImpl(const char *fmt, ...)
 {
-    if (!verboseFlag)
+    if (!logVerbose())
         return;
     std::va_list args;
     va_start(args, fmt);

@@ -1,0 +1,103 @@
+#include "sim/sweep.hh"
+
+#include <atomic>
+#include <chrono> // bclint:allow-file(nondeterminism) -- host-side wall-clock throughput measurement only; simulated results never read it
+#include <sstream>
+#include <thread>
+
+#include "sim/logging.hh"
+
+namespace bctrl {
+
+SweepEngine::SweepEngine(SweepOptions options) : options_(options) {}
+
+unsigned
+SweepEngine::effectiveJobs() const
+{
+    if (options_.jobs != 0)
+        return options_.jobs;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw != 0 ? hw : 1;
+}
+
+SweepOutcome
+SweepEngine::runPoint(const SweepPoint &point, std::size_t index,
+                      bool capture_stats)
+{
+    SweepOutcome out;
+    out.index = index;
+    out.workload = point.workload;
+
+    const auto host_start = std::chrono::steady_clock::now();
+
+    System sys(point.config);
+    if (point.prepare)
+        point.prepare(sys, index);
+    out.result = sys.run(point.workload);
+    out.hostEvents = sys.eventQueue().eventsProcessed();
+    if (capture_stats) {
+        std::ostringstream os;
+        sys.dumpStats(os);
+        out.statsDump = os.str();
+    }
+
+    const std::chrono::duration<double> host_elapsed =
+        std::chrono::steady_clock::now() - host_start;
+    out.hostSeconds = host_elapsed.count();
+    out.hostEventsPerSec =
+        out.hostSeconds > 0
+            ? static_cast<double>(out.hostEvents) / out.hostSeconds
+            : 0.0;
+    return out;
+}
+
+std::vector<SweepOutcome>
+SweepEngine::run(const std::vector<SweepPoint> &points)
+{
+    std::vector<SweepOutcome> outcomes(points.size());
+    if (points.empty())
+        return outcomes;
+
+    const unsigned jobs = static_cast<unsigned>(
+        std::min<std::size_t>(effectiveJobs(), points.size()));
+
+    if (jobs <= 1) {
+        // Serial reference path: no threads at all, so a jobs=1 sweep
+        // is usable even where std::thread is unavailable or under
+        // close instrumentation.
+        for (std::size_t i = 0; i < points.size(); ++i)
+            outcomes[i] = runPoint(points[i], i, options_.captureStats);
+        return outcomes;
+    }
+
+    // Work-stealing by atomic counter: each worker claims the next
+    // unstarted index and writes only its own outcome slot, so the
+    // only shared mutable state is the counter itself.
+    std::atomic<std::size_t> next{0};
+    const bool capture = options_.captureStats;
+    auto worker = [&points, &outcomes, &next, capture]() {
+        for (;;) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= points.size())
+                return;
+            outcomes[i] = runPoint(points[i], i, capture);
+        }
+    };
+
+    std::vector<std::thread> threads;
+    threads.reserve(jobs);
+    for (unsigned t = 0; t < jobs; ++t)
+        threads.emplace_back(worker);
+    for (std::thread &t : threads)
+        t.join();
+    return outcomes;
+}
+
+std::vector<SweepOutcome>
+runSweep(const std::vector<SweepPoint> &points, SweepOptions options)
+{
+    return SweepEngine(options).run(points);
+}
+
+} // namespace bctrl

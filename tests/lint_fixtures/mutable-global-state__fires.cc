@@ -1,0 +1,17 @@
+// bclint fixture: the mutable-global-state rule must fire on mutable
+// namespace-scope variables (concurrent Systems share one process).
+// Never compiled, only linted.
+
+namespace bctrl {
+
+int hitCounter = 0;
+
+static double lastLatency;
+
+namespace detail {
+
+unsigned livePackets{0};
+
+} // namespace detail
+
+} // namespace bctrl

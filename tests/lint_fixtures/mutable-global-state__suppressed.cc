@@ -1,0 +1,31 @@
+// bclint fixture: immutable and sanctioned namespace-scope state must
+// not fire, and the suppression comment silences a deliberate global.
+
+#include <atomic>
+
+namespace bctrl {
+
+constexpr int kTableWays = 8;
+
+const char *const kBannerText = "border control";
+
+std::atomic<bool> liveFlag{true};
+
+thread_local unsigned scratchDepth = 0;
+
+// A genuinely mutable global, explicitly waived:
+// bclint:allow(mutable-global-state)
+int waivedCounter = 0;
+
+struct PoolStats {
+    unsigned hits = 0; // class scope, not namespace scope
+};
+
+inline unsigned
+poolDepth()
+{
+    static unsigned depth = 0; // function-local static: out of scope
+    return ++depth;
+}
+
+} // namespace bctrl

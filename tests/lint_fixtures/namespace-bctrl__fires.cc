@@ -1,9 +1,8 @@
 // bclint fixture: simulation code outside namespace bctrl.
 
-int looseGlobal = 0;
-
 int
 looseFunction()
 {
-    return looseGlobal;
+    static int looseCounter = 0;
+    return ++looseCounter;
 }

@@ -8,7 +8,9 @@ namespace bctrl {
 
 struct Packet;
 
-std::unordered_map<Packet *, int> byPacket;
-std::unordered_set<const void *> seen;
+struct Tracker {
+    std::unordered_map<Packet *, int> byPacket;
+    std::unordered_set<const void *> seen;
+};
 
 } // namespace bctrl

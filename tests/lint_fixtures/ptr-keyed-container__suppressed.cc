@@ -7,8 +7,10 @@ namespace bctrl {
 
 struct Packet;
 
-// Lookup only, never iterated: order independence is irrelevant.
-// bclint:allow(ptr-keyed-container)
-std::unordered_map<Packet *, int> byPacket;
+struct Tracker {
+    // Lookup only, never iterated: order independence is irrelevant.
+    // bclint:allow(ptr-keyed-container)
+    std::unordered_map<Packet *, int> byPacket;
+};
 
 } // namespace bctrl

@@ -93,6 +93,10 @@ const RuleInfo kRules[] = {
     {"addr-arith",
      "no raw page/block shift or mask arithmetic; use the addr.hh "
      "helpers (pageNumber, pageBase, blockAlign, ...)"},
+    {"mutable-global-state",
+     "no mutable namespace-scope variables in src/: concurrent "
+     "Systems share one process; keep state per-System, const, or "
+     "std::atomic"},
 };
 
 bool
@@ -310,6 +314,11 @@ ruleAppliesToPath(const SourceFile &sf, const std::string &rule)
         return sf.relPath != "src/mem/addr.hh";
     if (rule == "namespace-bctrl")
         return startsWith(sf.relPath, "src/");
+    if (rule == "mutable-global-state") {
+        // The simulation library must tolerate concurrent Systems
+        // (sweep engine); drivers and tests own their process.
+        return startsWith(sf.relPath, "src/");
+    }
     return true;
 }
 
@@ -539,6 +548,126 @@ checkMissingOverride(const SourceFile &sf, std::vector<Diagnostic> &out)
 }
 
 // ---------------------------------------------------------------------
+// mutable-global-state: a brace-tracking scan that flags variable
+// definitions at namespace scope unless they are immutable (const,
+// constexpr, constinit) or sanctioned cross-thread state (std::atomic,
+// thread_local). Function definitions, type definitions, templates and
+// using/typedef aliases are exempt; anything containing '(' is treated
+// as a declaration, not a variable, to stay conservative.
+
+bool
+mutableGlobalHead(const std::string &head)
+{
+    if (head.find('(') != std::string::npos)
+        return false;
+
+    static const std::set<std::string> kExempt = {
+        "namespace",  "using",        "typedef",    "class",
+        "struct",     "enum",         "union",      "template",
+        "extern",     "friend",       "static_assert",
+        "const",      "constexpr",    "constinit",  "thread_local",
+        "atomic",     "operator",     "asm",        "concept",
+    };
+
+    std::size_t words = 0;
+    for (std::size_t i = 0; i < head.size(); ++i) {
+        const char c = head[i];
+        if (!std::isalpha(static_cast<unsigned char>(c)) && c != '_')
+            continue;
+        std::size_t j = i;
+        while (j < head.size() &&
+               (std::isalnum(static_cast<unsigned char>(head[j])) ||
+                head[j] == '_'))
+            ++j;
+        if (kExempt.count(head.substr(i, j - i)))
+            return false;
+        ++words;
+        i = j;
+    }
+    // A definition needs at least a type and a name.
+    return words >= 2;
+}
+
+void
+checkMutableGlobals(const SourceFile &sf, std::vector<Diagnostic> &out)
+{
+    if (!ruleAppliesToPath(sf, "mutable-global-state"))
+        return;
+
+    // Scope stack: true = namespace (or global) scope, false = any
+    // other brace scope (class, function, enum, initializer, ...).
+    std::vector<bool> scopes;
+    std::string head;
+    int headLine = 0;
+
+    auto atNamespaceScope = [&scopes]() {
+        for (bool ns : scopes)
+            if (!ns)
+                return false;
+        return true;
+    };
+    auto headIsNamespace = [&head]() {
+        static const std::regex nsRe(R"(\bnamespace\b)");
+        return std::regex_search(head, nsRe);
+    };
+
+    for (std::size_t li = 0; li < sf.code.size(); ++li) {
+        const std::string &line = sf.code[li];
+        const std::size_t first = line.find_first_not_of(" \t");
+        if (first != std::string::npos && line[first] == '#')
+            continue; // preprocessor line
+        for (const char c : line) {
+            switch (c) {
+              case '{':
+                if (headIsNamespace()) {
+                    scopes.push_back(true);
+                } else {
+                    // Brace-initialized definition: `int x{3};` or
+                    // `T t = {...};` — judge the head before the brace.
+                    if (atNamespaceScope() && mutableGlobalHead(head))
+                        report(sf, headLine, "mutable-global-state",
+                               "mutable variable at namespace scope; "
+                               "make it per-System, const, or "
+                               "std::atomic",
+                               out);
+                    scopes.push_back(false);
+                }
+                head.clear();
+                break;
+              case '}':
+                if (!scopes.empty())
+                    scopes.pop_back();
+                head.clear();
+                break;
+              case ';':
+                if (atNamespaceScope() && mutableGlobalHead(head))
+                    report(sf, headLine, "mutable-global-state",
+                           "mutable variable at namespace scope; make "
+                           "it per-System, const, or std::atomic",
+                           out);
+                head.clear();
+                break;
+              default:
+                // Initializers can contain arbitrary expressions
+                // (including braces on the RHS of `=`); judging the
+                // head up to '=' is enough, so stop accumulating.
+                if (head.find('=') != std::string::npos)
+                    break;
+                if (head.empty()) {
+                    if (std::isspace(static_cast<unsigned char>(c)))
+                        break; // never start a head with whitespace
+                    headLine = static_cast<int>(li) + 1;
+                }
+                head += c;
+                break;
+            }
+        }
+        if (!head.empty() && head.find('=') == std::string::npos)
+            head += ' ';
+    }
+}
+
+// ---------------------------------------------------------------------
 // Driver.
 
 bool
@@ -573,6 +702,7 @@ scanFile(const fs::path &path, const std::string &relPath, bool selfTest,
     checkIncludeGuard(sf, out);
     checkNamespace(sf, out);
     checkMissingOverride(sf, out);
+    checkMutableGlobals(sf, out);
     return true;
 }
 

@@ -1,0 +1,400 @@
+/**
+ * @file
+ * bctrl_sweep: parallel sweep driver for the Border Control simulator.
+ *
+ * Runs a (workload × safety model × GPU profile) cross product through
+ * the worker-pool sweep engine (src/sim/sweep.hh) and writes a JSON
+ * report — per-run GPU cycles, overhead vs. the unsafe baseline, host
+ * wall time, and host events/second — to BENCH_sweep.json. Results are
+ * deterministic and bit-identical to a serial run whatever --jobs is.
+ *
+ * Examples:
+ *
+ *   bctrl_sweep                                # full Fig 4 sweep
+ *   bctrl_sweep --jobs 4 --compare-serial      # measure the speedup
+ *   bctrl_sweep --micro --jobs 2               # quick smoke (CI)
+ *   bctrl_sweep --workloads bfs,lud --safety bc-bcc,ats-only
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+#include "sim/logging.hh"
+#include "sim/sweep.hh"
+
+using namespace bctrl;
+using namespace bctrl::bench;
+
+namespace {
+
+struct NamedSafety {
+    const char *token;
+    SafetyModel model;
+};
+
+constexpr NamedSafety kSafeties[] = {
+    {"ats-only", SafetyModel::atsOnlyIommu},
+    {"full-iommu", SafetyModel::fullIommu},
+    {"capi", SafetyModel::capiLike},
+    {"bc-nobcc", SafetyModel::borderControlNoBcc},
+    {"bc-bcc", SafetyModel::borderControlBcc},
+};
+
+const char *
+safetyToken(SafetyModel m)
+{
+    for (const NamedSafety &s : kSafeties)
+        if (s.model == m)
+            return s.token;
+    return "?";
+}
+
+const char *
+profileToken(GpuProfile p)
+{
+    return p == GpuProfile::highlyThreaded ? "highly" : "moderate";
+}
+
+std::vector<std::string>
+splitList(const std::string &list)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= list.size()) {
+        std::size_t comma = list.find(',', start);
+        if (comma == std::string::npos)
+            comma = list.size();
+        if (comma > start)
+            out.push_back(list.substr(start, comma - start));
+        start = comma + 1;
+    }
+    return out;
+}
+
+void
+usage(const char *prog)
+{
+    std::printf(
+        "usage: %s [options]\n"
+        "  --jobs N           worker threads (default: all hardware "
+        "threads,\n"
+        "                     or $BCTRL_SWEEP_JOBS)\n"
+        "  --workloads LIST   comma-separated workloads (default: the\n"
+        "                     seven Rodinia proxies)\n"
+        "  --safety LIST      comma-separated of ats-only, full-iommu,\n"
+        "                     capi, bc-nobcc, bc-bcc (default: all "
+        "five)\n"
+        "  --profiles LIST    comma-separated of highly, moderate\n"
+        "                     (default: both)\n"
+        "  --scale N          workload scale factor (default: 1)\n"
+        "  --seed N           workload RNG seed (default: 1)\n"
+        "  --micro            shortcut: --workloads "
+        "uniform,stream,strided\n"
+        "  --compare-serial   also run serially and report the "
+        "speedup\n"
+        "  --out FILE         JSON report path (default: "
+        "BENCH_sweep.json)\n"
+        "  --quiet            suppress the per-run progress table\n"
+        "  --help             this text\n",
+        prog);
+}
+
+struct Totals {
+    double hostSeconds = 0;
+    std::uint64_t hostEvents = 0;
+};
+
+Totals
+totalsOf(const std::vector<SweepOutcome> &outcomes, double wall_seconds)
+{
+    Totals t;
+    t.hostSeconds = wall_seconds;
+    for (const SweepOutcome &o : outcomes)
+        t.hostEvents += o.hostEvents;
+    return t;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setLogVerbose(false);
+
+    unsigned jobs = 0; // 0 = sweepJobs() (env or hardware)
+    std::vector<std::string> workloads = rodiniaWorkloadNames();
+    std::vector<SafetyModel> safeties;
+    for (const NamedSafety &s : kSafeties)
+        safeties.push_back(s.model);
+    std::vector<GpuProfile> profiles = {GpuProfile::highlyThreaded,
+                                        GpuProfile::moderatelyThreaded};
+    SystemConfig base;
+    std::string out_path = "BENCH_sweep.json";
+    bool compare_serial = false;
+    bool quiet = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--jobs") {
+            jobs = static_cast<unsigned>(
+                std::strtoul(next(), nullptr, 0));
+        } else if (arg == "--workloads") {
+            workloads = splitList(next());
+        } else if (arg == "--safety") {
+            safeties.clear();
+            for (const std::string &tok : splitList(next())) {
+                bool found = false;
+                for (const NamedSafety &s : kSafeties) {
+                    if (tok == s.token) {
+                        safeties.push_back(s.model);
+                        found = true;
+                    }
+                }
+                if (!found) {
+                    std::fprintf(stderr, "unknown safety model '%s'\n",
+                                 tok.c_str());
+                    return 2;
+                }
+            }
+        } else if (arg == "--profiles") {
+            profiles.clear();
+            for (const std::string &tok : splitList(next())) {
+                if (tok == "highly") {
+                    profiles.push_back(GpuProfile::highlyThreaded);
+                } else if (tok == "moderate") {
+                    profiles.push_back(GpuProfile::moderatelyThreaded);
+                } else {
+                    std::fprintf(stderr, "unknown profile '%s'\n",
+                                 tok.c_str());
+                    return 2;
+                }
+            }
+        } else if (arg == "--scale") {
+            base.workloadScale = std::strtoull(next(), nullptr, 0);
+        } else if (arg == "--seed") {
+            base.seed = std::strtoull(next(), nullptr, 0);
+        } else if (arg == "--micro") {
+            workloads = {"uniform", "stream", "strided"};
+        } else if (arg == "--compare-serial") {
+            compare_serial = true;
+        } else if (arg == "--out") {
+            out_path = next();
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+            usage(argv[0]);
+            return 2;
+        }
+    }
+
+    if (workloads.empty() || safeties.empty() || profiles.empty()) {
+        std::fprintf(stderr, "empty sweep: need at least one workload, "
+                             "safety model, and profile\n");
+        return 2;
+    }
+
+    const std::vector<SweepPoint> points =
+        matrixPoints(workloads, safeties, profiles, base);
+    const unsigned effective_jobs = jobs != 0 ? jobs : sweepJobs();
+
+    std::fprintf(stderr, "sweep: %zu runs on %u worker(s)\n",
+                 points.size(), effective_jobs);
+
+    // Host-side wall-clock measurement (never feeds simulated state).
+    // bclint:allow(nondeterminism)
+    const auto now = []() {
+        // bclint:allow(nondeterminism)
+        return std::chrono::steady_clock::now();
+    };
+
+    const auto par_start = now();
+    const std::vector<SweepOutcome> outcomes =
+        sweep(points, effective_jobs);
+    const std::chrono::duration<double> par_elapsed = now() - par_start;
+    const Totals par = totalsOf(outcomes, par_elapsed.count());
+
+    double serial_seconds = 0;
+    double speedup = 0;
+    if (compare_serial) {
+        const auto ser_start = now();
+        const std::vector<SweepOutcome> serial_outcomes =
+            sweep(points, 1);
+        const std::chrono::duration<double> ser_elapsed =
+            now() - ser_start;
+        serial_seconds = ser_elapsed.count();
+        speedup = par.hostSeconds > 0
+                      ? serial_seconds / par.hostSeconds
+                      : 0.0;
+        // Cross-check determinism: the parallel sweep must agree with
+        // the serial one bit for bit.
+        for (std::size_t i = 0; i < outcomes.size(); ++i) {
+            const RunResult &a = outcomes[i].result;
+            const RunResult &b = serial_outcomes[i].result;
+            if (a.runtimeTicks != b.runtimeTicks ||
+                a.memOps != b.memOps ||
+                outcomes[i].hostEvents != serial_outcomes[i].hostEvents) {
+                std::fprintf(stderr,
+                             "determinism violation at run %zu: "
+                             "parallel and serial sweeps disagree\n",
+                             i);
+                return 1;
+            }
+        }
+    }
+
+    // Per-(profile, workload) baseline for overhead columns, when the
+    // unsafe baseline is part of the sweep.
+    std::size_t baseline_slot = safeties.size();
+    for (std::size_t s = 0; s < safeties.size(); ++s)
+        if (safeties[s] == SafetyModel::atsOnlyIommu)
+            baseline_slot = s;
+
+    if (!quiet) {
+        std::printf("%-11s %-10s %-8s %14s %10s %10s %14s\n",
+                    "workload", "safety", "profile", "gpuCycles",
+                    "overhead", "host(s)", "events/s");
+        for (const SweepOutcome &o : outcomes) {
+            const std::size_t s = o.index % safeties.size();
+            const std::size_t group = o.index - s;
+            std::string overhead = "-";
+            if (baseline_slot < safeties.size() &&
+                s != baseline_slot) {
+                const double base_cycles =
+                    outcomes[group + baseline_slot].result.gpuCycles;
+                if (base_cycles > 0)
+                    overhead =
+                        pct(o.result.gpuCycles / base_cycles - 1.0);
+            }
+            std::printf("%-11s %-10s %-8s %14.0f %10s %10.3f %14.0f\n",
+                        o.workload.c_str(),
+                        safetyToken(o.result.safety),
+                        profileToken(o.result.profile),
+                        o.result.gpuCycles, overhead.c_str(),
+                        o.hostSeconds, o.hostEventsPerSec);
+        }
+        std::printf("\ntotal: %.3f s wall, %llu events, %.0f "
+                    "events/s aggregate\n",
+                    par.hostSeconds,
+                    (unsigned long long)par.hostEvents,
+                    par.hostSeconds > 0
+                        ? static_cast<double>(par.hostEvents) /
+                              par.hostSeconds
+                        : 0.0);
+        if (compare_serial)
+            std::printf("serial: %.3f s wall -> speedup %.2fx with "
+                        "%u worker(s)\n",
+                        serial_seconds, speedup, effective_jobs);
+    }
+
+    std::FILE *f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+        return 1;
+    }
+    std::fprintf(f, "{\n  \"schema\": \"bctrl-sweep-v1\",\n");
+    std::fprintf(f, "  \"jobs\": %u,\n", effective_jobs);
+    std::fprintf(f, "  \"runs\": [\n");
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        const SweepOutcome &o = outcomes[i];
+        const std::size_t s = i % safeties.size();
+        const std::size_t group = i - s;
+        std::string overhead = "null";
+        if (baseline_slot < safeties.size() && s != baseline_slot) {
+            const double base_cycles =
+                outcomes[group + baseline_slot].result.gpuCycles;
+            if (base_cycles > 0)
+                overhead = formatDouble(
+                    o.result.gpuCycles / base_cycles - 1.0);
+        }
+        std::fprintf(
+            f,
+            "    {\"workload\": \"%s\", \"safety\": \"%s\", "
+            "\"profile\": \"%s\", \"gpuCycles\": %s, "
+            "\"runtimeTicks\": %llu, \"overheadVsBaseline\": %s, "
+            "\"hostSeconds\": %s, \"hostEvents\": %llu, "
+            "\"hostEventsPerSec\": %s}%s\n",
+            o.workload.c_str(), safetyToken(o.result.safety),
+            profileToken(o.result.profile),
+            formatDouble(o.result.gpuCycles).c_str(),
+            (unsigned long long)o.result.runtimeTicks, overhead.c_str(),
+            formatDouble(o.hostSeconds).c_str(),
+            (unsigned long long)o.hostEvents,
+            formatDouble(o.hostEventsPerSec).c_str(),
+            i + 1 < outcomes.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+
+    // Geomean overheads per (profile, safety) when a baseline exists.
+    std::fprintf(f, "  \"geomeanOverheads\": [");
+    bool first_geomean = true;
+    if (baseline_slot < safeties.size()) {
+        for (std::size_t p = 0; p < profiles.size(); ++p) {
+            for (std::size_t s = 0; s < safeties.size(); ++s) {
+                if (s == baseline_slot)
+                    continue;
+                std::vector<double> overheads;
+                for (std::size_t w = 0; w < workloads.size(); ++w) {
+                    const std::size_t group =
+                        (p * workloads.size() + w) * safeties.size();
+                    const double base_cycles =
+                        outcomes[group + baseline_slot]
+                            .result.gpuCycles;
+                    if (base_cycles > 0)
+                        overheads.push_back(
+                            outcomes[group + s].result.gpuCycles /
+                                base_cycles -
+                            1.0);
+                }
+                std::fprintf(
+                    f, "%s\n    {\"profile\": \"%s\", \"safety\": "
+                       "\"%s\", \"overhead\": %s}",
+                    first_geomean ? "" : ",",
+                    profileToken(profiles[p]),
+                    safetyToken(safeties[s]),
+                    formatDouble(geomeanOverhead(overheads)).c_str());
+                first_geomean = false;
+            }
+        }
+    }
+    std::fprintf(f, "\n  ],\n");
+
+    std::fprintf(
+        f,
+        "  \"parallel\": {\"hostSeconds\": %s, \"hostEvents\": %llu, "
+        "\"hostEventsPerSec\": %s}",
+        formatDouble(par.hostSeconds).c_str(),
+        (unsigned long long)par.hostEvents,
+        formatDouble(par.hostSeconds > 0
+                         ? static_cast<double>(par.hostEvents) /
+                               par.hostSeconds
+                         : 0.0)
+            .c_str());
+    if (compare_serial) {
+        std::fprintf(f,
+                     ",\n  \"serial\": {\"hostSeconds\": %s},\n"
+                     "  \"speedup\": %s",
+                     formatDouble(serial_seconds).c_str(),
+                     formatDouble(speedup).c_str());
+    }
+    std::fprintf(f, "\n}\n");
+    std::fclose(f);
+
+    std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+    return 0;
+}
