@@ -37,32 +37,33 @@ AttackInjector::inject(const PacketPtr &pkt, bool via_border)
 AttackInjector::Outcome
 AttackInjector::wildPhysicalRead(Addr paddr)
 {
-    auto pkt = Packet::make(MemCmd::Read, paddr, 64,
-                            Requestor::accelerator);
+    auto pkt = system_.packetPool().make(MemCmd::Read, paddr, 64,
+                                         Requestor::accelerator);
     return inject(pkt, true);
 }
 
 AttackInjector::Outcome
 AttackInjector::wildPhysicalWrite(Addr paddr)
 {
-    auto pkt = Packet::make(MemCmd::Write, paddr, 64,
-                            Requestor::accelerator);
+    auto pkt = system_.packetPool().make(MemCmd::Write, paddr, 64,
+                                         Requestor::accelerator);
     return inject(pkt, true);
 }
 
 AttackInjector::Outcome
 AttackInjector::staleWriteback(Addr paddr)
 {
-    auto pkt = Packet::make(MemCmd::Writeback, blockAlign(paddr),
-                            blockSize, Requestor::accelerator);
+    auto pkt =
+        system_.packetPool().make(MemCmd::Writeback, blockAlign(paddr),
+                                  blockSize, Requestor::accelerator);
     return inject(pkt, true);
 }
 
 AttackInjector::Outcome
 AttackInjector::forgedAsidRead(Asid asid, Addr vaddr)
 {
-    auto pkt =
-        Packet::make(MemCmd::Read, 0, 64, Requestor::accelerator, asid);
+    auto pkt = system_.packetPool().make(MemCmd::Read, 0, 64,
+                                         Requestor::accelerator, asid);
     pkt->isVirtual = true;
     pkt->vaddr = vaddr;
 

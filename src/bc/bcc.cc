@@ -14,16 +14,14 @@ BorderControlCache::BorderControlCache(const Params &params)
     const unsigned bytes_per_entry = (params_.pagesPerEntry * 2 + 7) / 8;
     for (Entry &e : entries_)
         e.bits.assign(bytes_per_entry, 0);
+    index_.reserve(params_.entries);
 }
 
 BorderControlCache::Entry *
 BorderControlCache::findEntry(Addr group)
 {
-    for (Entry &e : entries_) {
-        if (e.valid && e.groupTag == group)
-            return &e;
-    }
-    return nullptr;
+    auto it = index_.find(group);
+    return it == index_.end() ? nullptr : &entries_[it->second];
 }
 
 const BorderControlCache::Entry *
@@ -87,8 +85,12 @@ BorderControlCache::fill(Addr ppn, const ProtectionTable &table)
             if (cand.lastUse < victim->lastUse)
                 victim = &cand;
         }
+        if (victim->valid)
+            index_.erase(victim->groupTag);
         victim->valid = true;
         victim->groupTag = group;
+        index_[group] = static_cast<std::uint32_t>(victim -
+                                                   entries_.data());
         e = victim;
     }
     // Load the whole group's permissions from the Protection Table.
@@ -117,8 +119,10 @@ BorderControlCache::update(Addr ppn, Perms perms)
 void
 BorderControlCache::invalidatePage(Addr ppn)
 {
-    if (Entry *e = findEntry(groupOf(ppn)))
+    if (Entry *e = findEntry(groupOf(ppn))) {
         e->valid = false;
+        index_.erase(e->groupTag);
+    }
 }
 
 void
@@ -126,6 +130,7 @@ BorderControlCache::invalidateAll()
 {
     for (Entry &e : entries_)
         e.valid = false;
+    index_.clear();
 }
 
 bool

@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "mem/addr.hh"
@@ -114,6 +115,14 @@ class BorderControlCache
 
     Params params_;
     std::vector<Entry> entries_;
+    /**
+     * O(1) group→slot index replacing the linear tag scan: every BCC
+     * lookup runs on every border request, so a 64-entry scan was the
+     * hottest loop in the bc-bcc configurations. Kept consistent with
+     * entries_ by fill/invalidatePage/invalidateAll; entries_ never
+     * reallocates after construction, so slot indices are stable.
+     */
+    std::unordered_map<Addr, std::uint32_t> index_;
     std::uint64_t useCounter_ = 0;
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;

@@ -8,10 +8,12 @@
 namespace bctrl {
 
 BorderControl::BorderControl(EventQueue &eq, const std::string &name,
-                             const Params &params, MemDevice &downstream)
+                             const Params &params, MemDevice &downstream,
+                             PacketPool *pool)
     : SimObject(eq, name),
       params_(params),
       downstream_(downstream),
+      pool_(pool),
       bcc_(params.bcc),
       borderRequests_(statGroup().scalar(
           "borderRequests", "accelerator requests checked at the border")),
@@ -72,8 +74,8 @@ BorderControl::chargeTableAccess(Addr table_addr, unsigned bytes,
     tableTrafficBytes_ += bytes;
     if (!params_.chargeTableTraffic)
         return;
-    auto pkt = Packet::make(write ? MemCmd::Write : MemCmd::Read,
-                            table_addr, bytes, Requestor::trustedHw);
+    auto pkt = allocPacket(pool_, write ? MemCmd::Write : MemCmd::Read,
+                           table_addr, bytes, Requestor::trustedHw);
     pkt->issuedAt = curTick();
     downstream_.access(pkt);
 }
@@ -171,20 +173,12 @@ BorderControl::access(const PacketPtr &pkt)
     if (pkt->isRead() && !params_.serializeReadChecks) {
         // The flat table guarantees single-access lookups, so the check
         // proceeds in parallel with the read; the data response is
-        // gated on the later of the two (paper §3.1.1).
-        if (pkt->onResponse && check_done > curTick()) {
-            auto original = std::move(pkt->onResponse);
-            PacketPtr held = pkt;
-            pkt->onResponse = [this, held, original = std::move(original),
-                               check_done](Packet &) mutable {
-                Tick fire = std::max(curTick(), check_done);
-                eventQueue().scheduleLambda(
-                    [held, cb = std::move(original)]() mutable {
-                        cb(*held);
-                    },
-                    fire);
-            };
-        }
+        // gated on the later of the two (paper §3.1.1). respondAt()
+        // consumes the gate with the same extra delivery hop the old
+        // wrapped-callback implementation scheduled, keeping event
+        // ordering bit-identical without re-wrapping the callback.
+        if (pkt->onResponse && check_done > curTick())
+            pkt->responseGateTick = check_done;
         downstream_.access(pkt);
     } else {
         // Writes (and, in the serialized ablation, reads) must not

@@ -48,8 +48,13 @@ class BorderControl : public SimObject, public MemDevice
         bool serializeReadChecks = false;
     };
 
+    /**
+     * @param pool packet pool for the table traffic this unit injects;
+     *        null (unit tests) falls back to heap packets.
+     */
     BorderControl(EventQueue &eq, const std::string &name,
-                  const Params &params, MemDevice &downstream);
+                  const Params &params, MemDevice &downstream,
+                  PacketPool *pool = nullptr);
 
     /** @name Datapath (paper Fig. 3c) */
     /// @{
@@ -147,6 +152,7 @@ class BorderControl : public SimObject, public MemDevice
 
     Params params_;
     MemDevice &downstream_;
+    PacketPool *pool_;
     ProtectionTable *table_ = nullptr;
     BorderControlCache bcc_;
     unsigned useCount_ = 0;

@@ -14,15 +14,43 @@ ProtectionTable::ProtectionTable(BackingStore &store, Addr base,
              (unsigned long long)base, (unsigned long long)sizeBytes());
 }
 
+const std::uint8_t *
+ProtectionTable::tableByte(Addr ppn) const
+{
+    const Addr addr = entryAddr(ppn);
+    const Addr page_addr = pageBase(addr);
+    if (page_addr != cachedPageAddr_ || cachedPage_ == nullptr) {
+        cachedPageAddr_ = page_addr;
+        cachedPage_ = const_cast<std::uint8_t *>(
+            store_.pageDataIfResident(addr));
+    }
+    return cachedPage_ != nullptr ? cachedPage_ + pageOffset(addr)
+                                  : nullptr;
+}
+
+std::uint8_t *
+ProtectionTable::tableByteForWrite(Addr ppn)
+{
+    const Addr addr = entryAddr(ppn);
+    const Addr page_addr = pageBase(addr);
+    if (page_addr != cachedPageAddr_ || cachedPage_ == nullptr) {
+        cachedPageAddr_ = page_addr;
+        cachedPage_ = store_.pageData(addr);
+    }
+    return cachedPage_ + pageOffset(addr);
+}
+
 Perms
 ProtectionTable::getPerms(Addr ppn) const
 {
     panic_if(!inBounds(ppn), "protection table read of PPN 0x%llx out of "
              "bounds (%llu)",
              (unsigned long long)ppn, (unsigned long long)numPpns_);
-    std::uint8_t byte = store_.read8(entryAddr(ppn));
+    const std::uint8_t *entry = tableByte(ppn);
+    if (entry == nullptr)
+        return Perms::fromBits(0); // untouched table bytes read as zero
     unsigned shift = (ppn % pagesPerByte) * 2;
-    return Perms::fromBits((byte >> shift) & 0x3);
+    return Perms::fromBits((*entry >> shift) & 0x3);
 }
 
 void
@@ -31,12 +59,10 @@ ProtectionTable::setPerms(Addr ppn, Perms perms)
     panic_if(!inBounds(ppn), "protection table write of PPN 0x%llx out "
              "of bounds (%llu)",
              (unsigned long long)ppn, (unsigned long long)numPpns_);
-    Addr addr = entryAddr(ppn);
-    std::uint8_t byte = store_.read8(addr);
+    std::uint8_t *entry = tableByteForWrite(ppn);
     unsigned shift = (ppn % pagesPerByte) * 2;
-    byte = static_cast<std::uint8_t>(
-        (byte & ~(0x3u << shift)) | (unsigned(perms.toBits()) << shift));
-    store_.write8(addr, byte);
+    *entry = static_cast<std::uint8_t>(
+        (*entry & ~(0x3u << shift)) | (unsigned(perms.toBits()) << shift));
 }
 
 Perms

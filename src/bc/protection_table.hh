@@ -77,9 +77,27 @@ class ProtectionTable
     double overheadFraction() const;
 
   private:
+    /** The byte holding @p ppn's bits, or nullptr if never written. */
+    const std::uint8_t *tableByte(Addr ppn) const;
+    /** Writable byte for @p ppn, allocating the page it lives in. */
+    std::uint8_t *tableByteForWrite(Addr ppn);
+
     BackingStore &store_;
     Addr base_;
     Addr numPpns_;
+
+    /**
+     * Cached raw pointer to the most recently touched table page in
+     * the backing store. getPerms/mergePerms run on every border
+     * request, so they read table bits through this pointer instead of
+     * re-hashing into the store's page map. Backing-store pages are
+     * never freed or moved and all content changes happen in place
+     * (including zeroAll, which zeroes through store_.zero), so a
+     * non-null cached pointer cannot go stale; a cached "absent" page
+     * (nullptr) is re-probed on every access until the page exists.
+     */
+    mutable Addr cachedPageAddr_ = ~Addr(0);
+    mutable std::uint8_t *cachedPage_ = nullptr;
 };
 
 } // namespace bctrl

@@ -8,10 +8,11 @@
 namespace bctrl {
 
 Cache::Cache(EventQueue &eq, const std::string &name, const Params &params,
-             MemDevice &downstream)
+             MemDevice &downstream, PacketPool *pool)
     : SimObject(eq, name),
       params_(params),
       downstream_(downstream),
+      pool_(pool),
       tags_(params.size, params.assoc, params.blockSize),
       mshrs_(params.mshrs),
       bankBusy_(std::max(1u, params.banks), 0),
@@ -91,8 +92,8 @@ Cache::access(const PacketPtr &pkt)
             ++hits_;
         else
             ++misses_;
-        auto through = Packet::make(MemCmd::Write, pkt->paddr, pkt->size,
-                                    params_.side, pkt->asid);
+        auto through = allocPacket(pool_, MemCmd::Write, pkt->paddr,
+                                   pkt->size, params_.side, pkt->asid);
         through->issuedAt = curTick();
         eventQueue().scheduleLambda(
             [this, through]() { downstream_.access(through); }, ready);
@@ -142,8 +143,8 @@ Cache::handleMiss(const PacketPtr &pkt, Tick ready)
 void
 Cache::sendFill(Addr block_addr, bool needs_writable)
 {
-    auto fill = Packet::make(MemCmd::Read, block_addr, params_.blockSize,
-                             params_.side, 0);
+    auto fill = allocPacket(pool_, MemCmd::Read, block_addr,
+                            params_.blockSize, params_.side, 0);
     fill->needsWritable = needs_writable;
     fill->issuedAt = curTick();
     fill->onResponse = [this](Packet &resp) { handleFill(resp); };
@@ -154,16 +155,24 @@ void
 Cache::handleFill(Packet &fill)
 {
     const Addr block_addr = fill.paddr;
-    Mshr mshr = mshrs_.release(block_addr);
+    Mshr *mshr = mshrs_.find(block_addr);
+    panic_if(mshr == nullptr, "fill response for absent MSHR 0x%llx",
+             (unsigned long long)block_addr);
+    // Drain the targets into a reused scratch buffer and retire the
+    // slot up front (the reissue path below re-allocates it).
+    fillTargets_.clear();
+    fillTargets_.swap(mshr->targets);
+    mshrs_.release(mshr);
 
     if (fill.denied) {
         // The fill was blocked by a safety mechanism: nothing is
         // installed, and every coalesced target fails.
         const Tick when = clockEdge(params_.responseLatency);
-        for (const PacketPtr &target : mshr.targets) {
+        for (const PacketPtr &target : fillTargets_) {
             target->denied = true;
             respondAt(eventQueue(), target, when);
         }
+        fillTargets_.clear();
         retryDeferred();
         maybeStartFlush();
         return;
@@ -184,8 +193,8 @@ Cache::handleFill(Packet &fill)
 
     const Tick done = clockEdge(params_.responseLatency);
     bool reissue_writable = false;
-    std::vector<PacketPtr> still_waiting;
-    for (const PacketPtr &target : mshr.targets) {
+    stillWaiting_.clear();
+    for (const PacketPtr &target : fillTargets_) {
         if (target->isRead()) {
             missLatency_.sample(
                 static_cast<double>(done - target->issuedAt));
@@ -199,13 +208,14 @@ Cache::handleFill(Packet &fill)
             // Write target but the fill came back read-only: an
             // exclusive re-request is required.
             reissue_writable = true;
-            still_waiting.push_back(target);
+            stillWaiting_.push_back(target);
         }
     }
+    fillTargets_.clear();
 
     if (reissue_writable) {
         Mshr &again = mshrs_.allocate(block_addr);
-        again.targets = std::move(still_waiting);
+        again.targets.swap(stillWaiting_);
         again.needsWritable = true;
         sendFill(block_addr, true);
         return;
@@ -219,8 +229,8 @@ void
 Cache::issueWriteback(Addr block_addr, bool track)
 {
     ++writebacks_;
-    auto wb = Packet::make(MemCmd::Writeback, block_addr,
-                           params_.blockSize, params_.side, 0);
+    auto wb = allocPacket(pool_, MemCmd::Writeback, block_addr,
+                          params_.blockSize, params_.side, 0);
     wb->issuedAt = curTick();
     if (track) {
         ++trackedWritebacks_;

@@ -49,8 +49,12 @@ class Cache : public SimObject, public MemDevice
         Requestor side = Requestor::cpu;
     };
 
+    /**
+     * @param pool packet pool for self-generated traffic (fills,
+     *        write-throughs, writebacks); null falls back to the heap.
+     */
     Cache(EventQueue &eq, const std::string &name, const Params &params,
-          MemDevice &downstream);
+          MemDevice &downstream, PacketPool *pool = nullptr);
 
     /** Checks the end-of-sim MSHR leak contract (see cache.cc). */
     ~Cache() override;
@@ -115,10 +119,19 @@ class Cache : public SimObject, public MemDevice
 
     Params params_;
     MemDevice &downstream_;
+    PacketPool *pool_;
     TagStore tags_;
     MshrQueue mshrs_;
     std::vector<Tick> bankBusy_;
     std::deque<PacketPtr> deferred_;
+    /**
+     * Scratch vectors reused across handleFill calls so draining an
+     * MSHR's targets never allocates in steady state. handleFill is
+     * never reentered (responses arrive via the event queue), so one
+     * set of buffers per cache suffices.
+     */
+    std::vector<PacketPtr> fillTargets_;
+    std::vector<PacketPtr> stillWaiting_;
 
     /** Writebacks whose acks the current flush is waiting on. */
     unsigned trackedWritebacks_ = 0;

@@ -7,30 +7,41 @@ namespace bctrl {
 Mshr *
 MshrQueue::find(Addr block_addr)
 {
-    auto it = entries_.find(block_addr);
-    return it == entries_.end() ? nullptr : &it->second;
+    for (Mshr &m : slots_) {
+        if (m.active && m.blockAddr == block_addr)
+            return &m;
+    }
+    return nullptr;
 }
 
 Mshr &
 MshrQueue::allocate(Addr block_addr)
 {
     panic_if(full(), "allocating MSHR beyond capacity %u", capacity_);
-    auto [it, inserted] = entries_.emplace(block_addr, Mshr{});
-    panic_if(!inserted, "MSHR for block 0x%llx already exists",
+    panic_if(find(block_addr) != nullptr,
+             "MSHR for block 0x%llx already exists",
              (unsigned long long)block_addr);
-    it->second.blockAddr = block_addr;
-    return it->second;
+    for (Mshr &m : slots_) {
+        if (m.active)
+            continue;
+        m.active = true;
+        m.blockAddr = block_addr;
+        m.needsWritable = false;
+        m.targets.clear();
+        ++live_;
+        return m;
+    }
+    panic("MSHR slot accounting disagrees with live count");
 }
 
-Mshr
-MshrQueue::release(Addr block_addr)
+void
+MshrQueue::release(Mshr *mshr)
 {
-    auto it = entries_.find(block_addr);
-    panic_if(it == entries_.end(), "releasing absent MSHR 0x%llx",
-             (unsigned long long)block_addr);
-    Mshr m = std::move(it->second);
-    entries_.erase(it);
-    return m;
+    panic_if(mshr == nullptr || !mshr->active,
+             "releasing an inactive MSHR");
+    mshr->active = false;
+    mshr->targets.clear();
+    --live_;
 }
 
 } // namespace bctrl

@@ -2,12 +2,16 @@
  * @file
  * Miss Status Handling Registers: bookkeeping for outstanding cache
  * misses, with coalescing of multiple requests to the same block.
+ *
+ * The queue is a flat slot array (8–32 entries in every evaluated
+ * configuration): a linear scan over a small contiguous array beats a
+ * hash map on the miss path, and slot reuse recycles each target
+ * vector's capacity so steady-state misses allocate nothing.
  */
 
 #ifndef BCTRL_CACHE_MSHR_HH
 #define BCTRL_CACHE_MSHR_HH
 
-#include <unordered_map>
 #include <vector>
 
 #include "mem/packet.hh"
@@ -18,25 +22,24 @@ struct Mshr {
     Addr blockAddr = 0;
     /** True once any coalesced target is a write. */
     bool needsWritable = false;
-    /** Requests waiting on this fill. */
+    /** True while this slot tracks an outstanding fill. */
+    bool active = false;
+    /** Requests waiting on this fill (capacity survives slot reuse). */
     std::vector<PacketPtr> targets;
 };
 
 class MshrQueue
 {
   public:
-    explicit MshrQueue(unsigned capacity) : capacity_(capacity)
-    {
-        // The table never holds more than `capacity` entries; reserving
-        // once here keeps allocate()/release() rehash-free forever.
-        entries_.reserve(capacity);
-    }
+    explicit MshrQueue(unsigned capacity)
+        : capacity_(capacity), slots_(capacity)
+    {}
 
     /** @return the MSHR tracking @p block_addr, or nullptr. */
     Mshr *find(Addr block_addr);
 
     /** @return true if no MSHR is free. */
-    bool full() const { return entries_.size() >= capacity_; }
+    bool full() const { return live_ >= capacity_; }
 
     /**
      * Allocate an MSHR for @p block_addr (must not exist; must not be
@@ -44,15 +47,16 @@ class MshrQueue
      */
     Mshr &allocate(Addr block_addr);
 
-    /** Remove and return the MSHR for @p block_addr. */
-    Mshr release(Addr block_addr);
+    /** Retire @p mshr; its targets must already have been drained. */
+    void release(Mshr *mshr);
 
-    std::size_t inService() const { return entries_.size(); }
+    std::size_t inService() const { return live_; }
     unsigned capacity() const { return capacity_; }
 
   private:
     unsigned capacity_;
-    std::unordered_map<Addr, Mshr> entries_;
+    std::vector<Mshr> slots_;
+    std::size_t live_ = 0;
 };
 
 } // namespace bctrl

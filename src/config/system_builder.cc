@@ -5,11 +5,51 @@
 namespace bctrl {
 
 System::System(const SystemConfig &config)
-    : config_(config)
+    : config_(config), allocProf_("system.allocprof")
 {
     const Tick gpu_period = config_.gpuPeriod();
 
     store_ = std::make_unique<BackingStore>(config_.physMemBytes);
+
+    // Host-side allocation profile: how allocation-free the hot request
+    // path actually is. All formulas so they read live counters at
+    // dump time.
+    allocProf_.formula("packetPoolAllocs",
+                      "packets minted from the heap (in-flight peak)",
+                      [this]() {
+                          return static_cast<double>(
+                              packetPool_.heapAllocations());
+                      });
+    allocProf_.formula("packetPoolPeak",
+                      "high-water mark of packets in flight",
+                      [this]() {
+                          return static_cast<double>(
+                              packetPool_.peakInFlight());
+                      });
+    allocProf_.formula("lambdaPoolAllocs",
+                      "lambda events minted from the heap",
+                      [this]() {
+                          return static_cast<double>(
+                              eventQueue_.lambdaAllocations());
+                      });
+    allocProf_.formula("callbackHeapSpills",
+                      "callbacks that overflowed their inline buffer",
+                      [this]() {
+                          return static_cast<double>(
+                              eventQueue_.lambdaSpills() +
+                              packetPool_.callbackSpills());
+                      });
+    allocProf_.formula("backingStoreMruHitRate",
+                      "page lookups served by the last-page MRU slot",
+                      [this]() {
+                          const std::uint64_t lookups =
+                              store_->pageLookups();
+                          return lookups != 0
+                                     ? static_cast<double>(
+                                           store_->mruHits()) /
+                                           static_cast<double>(lookups)
+                                     : 0.0;
+                      });
 
     Dram::Params dram_params;
     dram_params.accessLatency = config_.dramAccessLatency;
@@ -45,7 +85,7 @@ System::System(const SystemConfig &config)
         cl2.clockPeriod = cpu_period;
         cl2.side = Requestor::cpu;
         cpuL2_ = std::make_unique<Cache>(eventQueue_, "system.cpu.l2",
-                                         cl2, *bus_);
+                                         cl2, *bus_, &packetPool_);
         Cache::Params cl1;
         cl1.size = config_.cpuL1Size;
         cl1.assoc = 8;
@@ -56,11 +96,12 @@ System::System(const SystemConfig &config)
         cl1.clockPeriod = cpu_period;
         cl1.side = Requestor::cpu;
         cpuL1_ = std::make_unique<Cache>(eventQueue_, "system.cpu.l1d",
-                                         cl1, *cpuL2_);
+                                         cl1, *cpuL2_, &packetPool_);
         CpuCore::Params cp;
         cp.clockPeriod = cpu_period;
         cpuCore_ = std::make_unique<CpuCore>(
-            eventQueue_, "system.cpu.core0", cp, *kernel_, *cpuL1_);
+            eventQueue_, "system.cpu.core0", cp, *kernel_, *cpuL1_,
+            &packetPool_);
         coherence_->addCpuCache(cpuL1_.get());
         coherence_->addCpuCache(cpuL2_.get());
     }
@@ -70,7 +111,7 @@ System::System(const SystemConfig &config)
     ats_params.l2TlbLatency = config_.l2TlbLatencyCycles;
     ats_params.clockPeriod = gpu_period;
     ats_ = std::make_unique<Ats>(eventQueue_, "system.ats", ats_params,
-                                 *bus_);
+                                 *bus_, &packetPool_);
     ats_->setKernel(kernel_.get());
 
     // Cache parameter templates shared by the GPU-side structures.
@@ -130,7 +171,7 @@ System::System(const SystemConfig &config)
         Cache::Params capi = l2p;
         capi.side = Requestor::cpu; // trusted hardware
         capiL2_ = std::make_unique<Cache>(eventQueue_, "system.capiL2",
-                                          capi, *bus_);
+                                          capi, *bus_, &packetPool_);
         IommuFrontend::Params fe;
         fe.frontLatency = config_.capiFrontCycles * gpu_period;
         fe.clockPeriod = gpu_period;
@@ -158,7 +199,7 @@ System::System(const SystemConfig &config)
         bcp.clockPeriod = gpu_period;
         bcp.serializeReadChecks = config_.bcSerializeReadChecks;
         borderControl_ = std::make_unique<BorderControl>(
-            eventQueue_, "system.bc", bcp, *bus_);
+            eventQueue_, "system.bc", bcp, *bus_, &packetPool_);
         gpu_mem_path = borderControl_.get();
         ats_->setBorderControl(borderControl_.get());
         break;
@@ -166,7 +207,7 @@ System::System(const SystemConfig &config)
     }
 
     gpu_ = std::make_unique<Gpu>(eventQueue_, "system.gpu", gpu_params,
-                                 *ats_, *gpu_mem_path);
+                                 *ats_, *gpu_mem_path, &packetPool_);
 
     if (gpu_->l2Cache() != nullptr)
         coherence_->setAccelCache(gpu_->l2Cache());
@@ -309,6 +350,17 @@ System::collect(const std::string &workload_name, Tick runtime,
         r.l2Hits = gpu_->l2Cache()->demandHits();
         r.l2Misses = gpu_->l2Cache()->demandMisses();
     }
+
+    r.packetPoolAllocs = packetPool_.heapAllocations();
+    r.packetPoolPeak = packetPool_.peakInFlight();
+    r.lambdaPoolAllocs = eventQueue_.lambdaAllocations();
+    r.callbackHeapSpills =
+        eventQueue_.lambdaSpills() + packetPool_.callbackSpills();
+    const std::uint64_t page_lookups = store_->pageLookups();
+    r.backingStoreMruHitRate =
+        page_lookups != 0 ? static_cast<double>(store_->mruHits()) /
+                                static_cast<double>(page_lookups)
+                          : 0.0;
     return r;
 }
 
@@ -330,6 +382,7 @@ System::dumpStats(std::ostream &os) const
     if (iommuFrontend_)
         iommuFrontend_->statGroup().print(os);
     gpu_->statGroup().print(os);
+    allocProf_.print(os);
 }
 
 } // namespace bctrl

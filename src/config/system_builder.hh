@@ -22,7 +22,9 @@
 #include "gpu/gpu.hh"
 #include "mem/dram.hh"
 #include "mem/mem_bus.hh"
+#include "mem/packet_pool.hh"
 #include "os/kernel.hh"
+#include "sim/stats.hh"
 #include "vm/iommu_frontend.hh"
 
 namespace bctrl {
@@ -53,6 +55,7 @@ class System
     /// @{
     const SystemConfig &config() const { return config_; }
     EventQueue &eventQueue() { return eventQueue_; }
+    PacketPool &packetPool() { return packetPool_; }
     BackingStore &memory() { return *store_; }
     Dram &dram() { return *dram_; }
     CoherencePoint &coherencePoint() { return *coherence_; }
@@ -83,6 +86,13 @@ class System
 
     SystemConfig config_;
     EventQueue eventQueue_;
+    /**
+     * Declared before every component so it outlives them: packets can
+     * still be released into the pool while components tear down.
+     */
+    PacketPool packetPool_;
+    /** "system.allocprof" counters, printed last by dumpStats(). */
+    stats::StatGroup allocProf_;
     std::unique_ptr<BackingStore> store_;
     std::unique_ptr<Dram> dram_;
     std::unique_ptr<CoherencePoint> coherence_;

@@ -164,6 +164,20 @@ struct RunResult {
     std::uint64_t l1Misses = 0;
     std::uint64_t l2Hits = 0;
     std::uint64_t l2Misses = 0;
+
+    /** @name Allocation profile (host-side, not simulated state) */
+    /// @{
+    /** Packets minted from the heap (bounded by the in-flight peak). */
+    std::uint64_t packetPoolAllocs = 0;
+    /** High-water mark of packets in flight at once. */
+    std::uint64_t packetPoolPeak = 0;
+    /** LambdaEvents minted from the heap by the event queue. */
+    std::uint64_t lambdaPoolAllocs = 0;
+    /** Callbacks that overflowed their inline buffer onto the heap. */
+    std::uint64_t callbackHeapSpills = 0;
+    /** BackingStore page lookups answered by the last-page MRU slot. */
+    double backingStoreMruHitRate = 0;
+    /// @}
 };
 
 } // namespace bctrl

@@ -7,11 +7,12 @@ namespace bctrl {
 
 CpuCore::CpuCore(EventQueue &eq, const std::string &name,
                  const Params &params, Kernel &kernel,
-                 MemDevice &mem_path)
+                 MemDevice &mem_path, PacketPool *pool)
     : SimObject(eq, name),
       params_(params),
       kernel_(kernel),
       memPath_(mem_path),
+      pool_(pool),
       tlb_(eq, name + ".dtlb", params.tlb),
       opsExecuted_(statGroup().scalar("opsExecuted",
                                       "memory operations completed")),
@@ -139,9 +140,10 @@ void
 CpuCore::issue(const CpuOp &op, Addr paddr)
 {
     inFlight_ = true;
-    auto pkt = Packet::make(op.write ? MemCmd::Write : MemCmd::Read,
-                            paddr, op.size, Requestor::cpu,
-                            process_->asid());
+    auto pkt = allocPacket(pool_,
+                           op.write ? MemCmd::Write : MemCmd::Read,
+                           paddr, op.size, Requestor::cpu,
+                           process_->asid());
     pkt->issuedAt = curTick();
     CpuCore *self = this;
     pkt->onResponse = [self](Packet &) {

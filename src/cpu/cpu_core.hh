@@ -47,9 +47,11 @@ class CpuCore : public SimObject
 
     /**
      * @param mem_path the core's L1 cache (or any memory device)
+     * @param pool packet pool for issued loads/stores; null = heap
      */
     CpuCore(EventQueue &eq, const std::string &name,
-            const Params &params, Kernel &kernel, MemDevice &mem_path);
+            const Params &params, Kernel &kernel, MemDevice &mem_path,
+            PacketPool *pool = nullptr);
 
     /** Bind the address space subsequent ops execute in. */
     void bindProcess(Process &proc);
@@ -82,6 +84,7 @@ class CpuCore : public SimObject
     Params params_;
     Kernel &kernel_;
     MemDevice &memPath_;
+    PacketPool *pool_;
     Tlb tlb_;
     Process *process_ = nullptr;
 

@@ -10,11 +10,12 @@
 namespace bctrl {
 
 Gpu::Gpu(EventQueue &eq, const std::string &name, const Params &params,
-         Ats &ats, MemDevice &mem_path)
+         Ats &ats, MemDevice &mem_path, PacketPool *pool)
     : SimObject(eq, name),
       params_(params),
       ats_(ats),
       memPath_(mem_path),
+      pool_(pool),
       memOps_(statGroup().scalar("memOps", "coalesced accesses issued")),
       deniedOps_(statGroup().scalar("deniedOps",
                                     "accesses denied by a safety check")),
@@ -29,7 +30,7 @@ Gpu::Gpu(EventQueue &eq, const std::string &name, const Params &params,
             l2p.clockPeriod = params_.clockPeriod;
             l2p.side = Requestor::accelerator;
             l2Cache_ = std::make_unique<Cache>(eq, name + ".l2", l2p,
-                                               memPath_);
+                                               memPath_, pool_);
             statGroup().addChild(&l2Cache_->statGroup());
         }
         for (unsigned cu = 0; cu < params_.numCus; ++cu) {
@@ -48,7 +49,7 @@ Gpu::Gpu(EventQueue &eq, const std::string &name, const Params &params,
                          : memPath_;
             auto l1 = std::make_unique<Cache>(
                 eq, formatString("%s.cu%u.l1d", name.c_str(), cu), l1p,
-                below);
+                below, pool_);
             statGroup().addChild(&l1->statGroup());
             l1Caches_.push_back(std::move(l1));
         }
@@ -174,9 +175,10 @@ Gpu::issuePhys(unsigned cu, const WorkItem &item,
             pageBase(entry.ppn + (pageNumber(item.vaddr) - entry.vpn)) |
             pageOffset(item.vaddr);
         auto pkt =
-            Packet::make(item.write ? MemCmd::Write : MemCmd::Read,
-                         paddr, item.size, Requestor::accelerator,
-                         asid_);
+            allocPacket(pool_,
+                        item.write ? MemCmd::Write : MemCmd::Read,
+                        paddr, item.size, Requestor::accelerator,
+                        asid_);
         pkt->issuedAt = curTick();
         auto self = this;
         pkt->onResponse = [self, done = std::move(done)](Packet &p)
@@ -225,8 +227,9 @@ Gpu::issueIommu(const WorkItem &item,
 
     for (unsigned i = 0; i < count; ++i) {
         auto pkt =
-            Packet::make(item.write ? MemCmd::Write : MemCmd::Read, 0,
-                         subSize, Requestor::accelerator, asid_);
+            allocPacket(pool_,
+                        item.write ? MemCmd::Write : MemCmd::Read, 0,
+                        subSize, Requestor::accelerator, asid_);
         pkt->isVirtual = true;
         pkt->vaddr = item.vaddr + Addr(i) * subSize;
         pkt->issuedAt = curTick();

@@ -66,9 +66,11 @@ class Gpu : public SimObject, public AcceleratorControl
      * @param mem_path where accelerator traffic leaves the GPU: Border
      *        Control or the bus (physCached), or the IOMMU front end
      *        (iommu kind)
+     * @param pool packet pool shared with the GPU's internal caches;
+     *        null (unit tests) falls back to heap packets
      */
     Gpu(EventQueue &eq, const std::string &name, const Params &params,
-        Ats &ats, MemDevice &mem_path);
+        Ats &ats, MemDevice &mem_path, PacketPool *pool = nullptr);
     ~Gpu() override;
 
     /** @name Kernel launch */
@@ -135,6 +137,7 @@ class Gpu : public SimObject, public AcceleratorControl
     Params params_;
     Ats &ats_;
     MemDevice &memPath_;
+    PacketPool *pool_;
 
     std::vector<std::unique_ptr<ComputeUnit>> cus_;
     std::vector<std::unique_ptr<Tlb>> l1Tlbs_;

@@ -26,20 +26,52 @@ BackingStore::Page &
 BackingStore::pageFor(Addr addr)
 {
     Addr ppn = pageNumber(addr);
+    ++pageLookups_;
+    if (ppn == mruPpn_ && mruPage_ != nullptr) {
+        ++mruHits_;
+        return *mruPage_;
+    }
     auto it = pages_.find(ppn);
     if (it == pages_.end()) {
         auto page = std::make_unique<Page>();
         page->fill(0);
         it = pages_.emplace(ppn, std::move(page)).first;
     }
-    return *it->second;
+    // Sole allocation site: refreshing the MRU entry here is what
+    // keeps a cached "absent" (nullptr) entry from going stale.
+    mruPpn_ = ppn;
+    mruPage_ = it->second.get();
+    return *mruPage_;
 }
 
 const BackingStore::Page *
 BackingStore::pageForConst(Addr addr) const
 {
-    auto it = pages_.find(pageNumber(addr));
-    return it == pages_.end() ? nullptr : it->second.get();
+    Addr ppn = pageNumber(addr);
+    ++pageLookups_;
+    if (ppn == mruPpn_) {
+        ++mruHits_;
+        return mruPage_;
+    }
+    auto it = pages_.find(ppn);
+    mruPpn_ = ppn;
+    mruPage_ = it == pages_.end() ? nullptr : it->second.get();
+    return mruPage_;
+}
+
+std::uint8_t *
+BackingStore::pageData(Addr addr)
+{
+    checkRange(addr, 1);
+    return pageFor(addr).data();
+}
+
+const std::uint8_t *
+BackingStore::pageDataIfResident(Addr addr) const
+{
+    checkRange(addr, 1);
+    const Page *page = pageForConst(addr);
+    return page != nullptr ? page->data() : nullptr;
 }
 
 void

@@ -52,6 +52,22 @@ class BackingStore
     /** Number of host-resident simulated pages (for tests). */
     std::size_t residentPages() const { return pages_.size(); }
 
+    /**
+     * Raw byte storage of the page containing @p addr, allocating a
+     * zeroed page if absent. The pointer stays valid for the store's
+     * lifetime (pages are never freed or moved), so hot structures
+     * like the ProtectionTable may cache it across accesses.
+     */
+    std::uint8_t *pageData(Addr addr);
+
+    /** Like pageData, but nullptr if the page was never touched. */
+    const std::uint8_t *pageDataIfResident(Addr addr) const;
+
+    /** Page lookups through read/write/pageData (MRU stats). */
+    std::uint64_t pageLookups() const { return pageLookups_; }
+    /** Lookups answered by the last-page MRU cache, no hashing. */
+    std::uint64_t mruHits() const { return mruHits_; }
+
   private:
     using Page = std::array<std::uint8_t, pageSize>;
 
@@ -64,6 +80,20 @@ class BackingStore
 
     Addr size_;
     mutable std::unordered_map<Addr, std::unique_ptr<Page>> pages_;
+
+    /**
+     * Last-page MRU cache in front of the hash map: streaming access
+     * touches the same page for (pageSize / request) consecutive
+     * lookups, so remembering one (ppn, page) pair removes the hash
+     * from the hot path. mruPage_ == nullptr records "absent" so
+     * untouched pages keep reading as zero without allocating; every
+     * allocation goes through pageFor, which refreshes the entry, and
+     * pages are never freed, so the cache cannot go stale.
+     */
+    mutable Addr mruPpn_ = ~Addr(0);
+    mutable Page *mruPage_ = nullptr;
+    mutable std::uint64_t pageLookups_ = 0;
+    mutable std::uint64_t mruHits_ = 0;
 };
 
 } // namespace bctrl

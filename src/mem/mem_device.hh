@@ -12,7 +12,11 @@
 #ifndef BCTRL_MEM_MEM_DEVICE_HH
 #define BCTRL_MEM_MEM_DEVICE_HH
 
+#include <algorithm>
+#include <utility>
+
 #include "mem/packet.hh"
+#include "mem/packet_pool.hh"
 #include "sim/contracts.hh"
 #include "sim/event_queue.hh"
 
@@ -27,21 +31,41 @@ class MemDevice
     virtual void access(const PacketPtr &pkt) = 0;
 };
 
-/** Deliver @p pkt's response at tick @p when via the event queue. */
+/**
+ * Deliver @p pkt's response at tick @p when via the event queue.
+ *
+ * If Border Control armed a response gate (responseGateTick != 0, the
+ * §3.4.1 parallel read check), the callback is deferred through one
+ * more queue hop to max(now, gate) — the same two-hop schedule the
+ * old wrapped-callback implementation produced, so event ordering is
+ * bit-identical.
+ */
 inline void
 respondAt(EventQueue &eq, const PacketPtr &pkt, Tick when)
 {
     if (!pkt->onResponse)
         return;
-    eq.scheduleLambda([pkt]() {
+    EventQueue *eqp = &eq;
+    eq.scheduleLambda([eqp, pkt]() {
         if (pkt->onResponse) {
             BCTRL_ASSERT_MSG(!pkt->responded,
                              "second response delivered for packet %s",
                              pkt->toString().c_str());
             pkt->responded = true;
+            if (pkt->onResponse.spilled() && pkt->pool != nullptr)
+                pkt->pool->noteCallbackSpill();
             auto cb = std::move(pkt->onResponse);
             pkt->onResponse = nullptr;
-            cb(*pkt);
+            if (pkt->responseGateTick != 0) {
+                const Tick fire =
+                    std::max(eqp->curTick(), pkt->responseGateTick);
+                pkt->responseGateTick = 0;
+                eqp->scheduleLambda(
+                    [pkt, cb = std::move(cb)]() mutable { cb(*pkt); },
+                    fire);
+            } else {
+                cb(*pkt);
+            }
         }
     }, when);
 }

@@ -37,13 +37,16 @@ PacketPtr
 Packet::make(MemCmd cmd, Addr paddr, unsigned size, Requestor req,
              Asid asid)
 {
-    auto pkt = std::make_shared<Packet>();
+    // Heap fallback (pool == nullptr): releasePacket() frees it when
+    // the last PacketPtr drops. Pooled traffic goes through
+    // PacketPool::make instead.
+    Packet *pkt = new Packet;
     pkt->cmd = cmd;
     pkt->paddr = paddr;
     pkt->size = size;
     pkt->requestor = req;
     pkt->asid = asid;
-    return pkt;
+    return PacketPtr(pkt);
 }
 
 } // namespace bctrl

@@ -5,17 +5,26 @@
  * A Packet carries one read, write, or writeback. The address is
  * physical except on datapaths that translate at the border (the full
  * IOMMU and CAPI-like configurations), where packets start out virtual.
+ *
+ * Lifetime model: Packets are intrusively ref-counted and handed
+ * around as PacketPtr. Steady-state packets come from a per-System
+ * PacketPool (mem/packet_pool.hh) and return to its free list when the
+ * last PacketPtr drops; `Packet::make` is the pool-less heap fallback
+ * used by unit tests and standalone harnesses. The response callback
+ * is a fixed-capacity InlineFunction so delivering a response never
+ * heap-allocates (oversized captures still work but are counted as
+ * spills in the allocation profile).
  */
 
 #ifndef BCTRL_MEM_PACKET_HH
 #define BCTRL_MEM_PACKET_HH
 
 #include <cstdint>
-#include <functional>
-#include <memory>
 #include <string>
+#include <utility>
 
 #include "mem/addr.hh"
+#include "sim/inline_function.hh"
 #include "sim/types.hh"
 
 namespace bctrl {
@@ -37,9 +46,25 @@ enum class Requestor : std::uint8_t {
 };
 
 struct Packet;
-using PacketPtr = std::shared_ptr<Packet>;
+class PacketPtr;
+class PacketPool;
+
+/** Return a dead Packet to its pool, or free it (pool-less fallback). */
+void releasePacket(Packet *pkt);
+
+/**
+ * Inline capacity of Packet::onResponse. Sized for the measured
+ * worst-case hot capture: the GPU issue path stores [self, done] where
+ * `done` is a std::function completion token (8 + 32 bytes). Growing a
+ * capture past this is functional but heap-spills, which the
+ * allocation profile counts and the perf allocation-ceiling test
+ * rejects.
+ */
+constexpr std::size_t packetCallbackCapacity = 48;
 
 struct Packet {
+    using Callback = InlineFunction<void(Packet &), packetCallbackCapacity>;
+
     MemCmd cmd = MemCmd::Read;
     /** Physical address (valid unless isVirtual). */
     Addr paddr = 0;
@@ -56,7 +81,7 @@ struct Packet {
      * Called exactly once when the response (or write ack) arrives.
      * Null for fire-and-forget traffic.
      */
-    std::function<void(Packet &)> onResponse;
+    Callback onResponse;
     /** Set if a safety mechanism denied the access. */
     bool denied = false;
     /**
@@ -77,6 +102,16 @@ struct Packet {
      * struct layout does not depend on the contracts configuration.
      */
     bool responded = false;
+    /**
+     * Border Control's parallel read check (§3.4.1): when nonzero, the
+     * response callback may not run before this tick. respondAt()
+     * consumes it by adding the extra delivery hop the check requires.
+     */
+    Tick responseGateTick = 0;
+    /** Intrusive reference count; managed by PacketPtr only. */
+    std::uint32_t refCount = 0;
+    /** Owning pool, or null for heap-fallback packets. */
+    PacketPool *pool = nullptr;
 
     bool isRead() const { return cmd == MemCmd::Read; }
     bool isWrite() const { return cmd != MemCmd::Read; }
@@ -87,9 +122,114 @@ struct Packet {
 
     std::string toString() const;
 
-    /** Convenience factory. */
+    /** Convenience factory (heap fallback; prefer a PacketPool). */
     static PacketPtr make(MemCmd cmd, Addr paddr, unsigned size,
                           Requestor req, Asid asid = 0);
+};
+
+/**
+ * Intrusive smart pointer over Packet. Copy = refcount bump; the last
+ * owner returns the packet to its pool (or the heap). Deliberately
+ * minimal: no weak references, no aliasing, no custom deleters.
+ */
+class PacketPtr
+{
+  public:
+    constexpr PacketPtr() noexcept = default;
+    constexpr PacketPtr(std::nullptr_t) noexcept {}
+
+    /** Adopt a raw packet (factory use); bumps the refcount. */
+    explicit PacketPtr(Packet *pkt) noexcept : pkt_(pkt)
+    {
+        if (pkt_ != nullptr)
+            ++pkt_->refCount;
+    }
+
+    PacketPtr(const PacketPtr &other) noexcept : pkt_(other.pkt_)
+    {
+        if (pkt_ != nullptr)
+            ++pkt_->refCount;
+    }
+
+    PacketPtr(PacketPtr &&other) noexcept : pkt_(other.pkt_)
+    {
+        other.pkt_ = nullptr;
+    }
+
+    PacketPtr &
+    operator=(const PacketPtr &other) noexcept
+    {
+        PacketPtr(other).swap(*this);
+        return *this;
+    }
+
+    PacketPtr &
+    operator=(PacketPtr &&other) noexcept
+    {
+        PacketPtr(std::move(other)).swap(*this);
+        return *this;
+    }
+
+    PacketPtr &
+    operator=(std::nullptr_t) noexcept
+    {
+        reset();
+        return *this;
+    }
+
+    ~PacketPtr() { reset(); }
+
+    void
+    reset() noexcept
+    {
+        if (pkt_ != nullptr && --pkt_->refCount == 0)
+            releasePacket(pkt_);
+        pkt_ = nullptr;
+    }
+
+    void
+    swap(PacketPtr &other) noexcept
+    {
+        Packet *tmp = pkt_;
+        pkt_ = other.pkt_;
+        other.pkt_ = tmp;
+    }
+
+    Packet *get() const noexcept { return pkt_; }
+    Packet &operator*() const noexcept { return *pkt_; }
+    Packet *operator->() const noexcept { return pkt_; }
+    explicit operator bool() const noexcept { return pkt_ != nullptr; }
+
+    /** Current refcount (tests/diagnostics). */
+    std::uint32_t
+    useCount() const noexcept
+    {
+        return pkt_ != nullptr ? pkt_->refCount : 0;
+    }
+
+    friend bool
+    operator==(const PacketPtr &a, const PacketPtr &b) noexcept
+    {
+        return a.pkt_ == b.pkt_;
+    }
+    friend bool
+    operator!=(const PacketPtr &a, const PacketPtr &b) noexcept
+    {
+        return a.pkt_ != b.pkt_;
+    }
+    friend bool
+    operator==(const PacketPtr &a, std::nullptr_t) noexcept
+    {
+        return a.pkt_ == nullptr;
+    }
+    friend bool
+    operator!=(const PacketPtr &a, std::nullptr_t) noexcept
+    {
+        return a.pkt_ != nullptr;
+    }
+
+  private:
+    Packet *pkt_ = nullptr;
 };
 
 } // namespace bctrl

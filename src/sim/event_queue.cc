@@ -42,8 +42,10 @@ EventQueue::~EventQueue()
 }
 
 LambdaEvent *
-EventQueue::acquireLambda(std::function<void()> fn, int priority)
+EventQueue::acquireLambda(LambdaFn fn, int priority)
 {
+    if (fn.spilled())
+        ++lambdaSpills_;
     if (lambdaPool_.empty()) {
         ++lambdaAllocs_;
         return new LambdaEvent(std::move(fn), priority);
@@ -122,7 +124,7 @@ EventQueue::reschedule(Event *ev, Tick when)
 }
 
 void
-EventQueue::scheduleLambda(std::function<void()> fn, Tick when,
+EventQueue::scheduleLambda(LambdaFn fn, Tick when,
                            int priority)
 {
     push(acquireLambda(std::move(fn), priority), when, true);

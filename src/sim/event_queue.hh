@@ -11,17 +11,30 @@
 #define BCTRL_SIM_EVENT_QUEUE_HH
 
 #include <cstdint>
-#include <functional>
 #include <queue>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "sim/inline_function.hh"
 #include "sim/logging.hh"
 #include "sim/types.hh"
 
 namespace bctrl {
 
 class EventQueue;
+
+/**
+ * Inline capacity of queue-owned lambda callbacks. Sized for the
+ * measured worst-case hot capture: the GPU TLB-hit issue path stores a
+ * proceed closure (this + cu + WorkItem + std::function done) plus a
+ * TlbEntry, ~120 bytes. Larger captures still work but heap-spill,
+ * which lambdaSpills() counts and the allocation profile surfaces.
+ */
+constexpr std::size_t lambdaCallbackCapacity = 160;
+
+/** The queue's callback type: no heap for captures that fit. */
+using LambdaFn = InlineFunction<void(), lambdaCallbackCapacity>;
 
 /**
  * Base class for all schedulable events.
@@ -85,18 +98,19 @@ class Event
 };
 
 /**
- * An Event wrapping a std::function, for one-off callbacks.
+ * An Event wrapping an inline callable, for one-off callbacks.
  *
  * Unlike plain Event the queue owns a LambdaEvent: after it fires (or
  * when a squashed instance is popped) the queue recycles it through a
  * free-list pool, so callers can schedule and forget without paying a
- * heap allocation per callback on the simulation's hottest path.
+ * heap allocation per callback on the simulation's hottest path. The
+ * callback itself is a fixed-capacity LambdaFn, so captures that fit
+ * lambdaCallbackCapacity never touch the heap either.
  */
 class LambdaEvent : public Event
 {
   public:
-    explicit LambdaEvent(std::function<void()> fn,
-                         int priority = defaultPriority)
+    explicit LambdaEvent(LambdaFn fn, int priority = defaultPriority)
         : Event(priority), fn_(std::move(fn))
     {}
 
@@ -108,7 +122,7 @@ class LambdaEvent : public Event
 
     /** Re-arm a pooled event with a new callback and priority. */
     void
-    rearm(std::function<void()> fn, int priority)
+    rearm(LambdaFn fn, int priority)
     {
         fn_ = std::move(fn);
         setPriority(priority);
@@ -117,7 +131,7 @@ class LambdaEvent : public Event
     /** Drop the callback (releases captured state while pooled). */
     void disarm() { fn_ = nullptr; }
 
-    std::function<void()> fn_;
+    LambdaFn fn_;
 };
 
 /**
@@ -151,7 +165,7 @@ class EventQueue
      * @param when absolute tick
      * @param priority intra-tick ordering
      */
-    void scheduleLambda(std::function<void()> fn, Tick when,
+    void scheduleLambda(LambdaFn fn, Tick when,
                         int priority = Event::defaultPriority);
 
     /** @return true if no runnable events remain. */
@@ -185,6 +199,12 @@ class EventQueue
     /** LambdaEvents currently parked in the free-list pool. */
     std::size_t lambdaPoolSize() const { return lambdaPool_.size(); }
 
+    /**
+     * Lambda callbacks whose capture exceeded lambdaCallbackCapacity
+     * and spilled to the heap. Zero on the steady-state request path.
+     */
+    std::uint64_t lambdaSpills() const { return lambdaSpills_; }
+
   private:
     struct Entry {
         Tick when;
@@ -216,7 +236,7 @@ class EventQueue
     bool serviceOne(Tick maxTick);
 
     /** Take a LambdaEvent from the pool (or allocate one) and arm it. */
-    LambdaEvent *acquireLambda(std::function<void()> fn, int priority);
+    LambdaEvent *acquireLambda(LambdaFn fn, int priority);
 
     /** Return a fired or squashed queue-owned lambda to the pool. */
     void recycleLambda(Event *ev);
@@ -228,6 +248,7 @@ class EventQueue
     std::uint64_t processed_ = 0;
     std::vector<LambdaEvent *> lambdaPool_;
     std::uint64_t lambdaAllocs_ = 0;
+    std::uint64_t lambdaSpills_ = 0;
 };
 
 /**

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * InlineFunction: a move-only callable wrapper with a fixed-capacity
+ * inline buffer, for the simulator's hot callback paths.
+ *
+ * `std::function` heap-allocates any capture larger than its small
+ * libstdc++ SSO buffer (~16 bytes), which puts malloc/free on the
+ * critical path of every simulated memory request (GPU issue lambdas
+ * run ~112 bytes of capture). InlineFunction stores the callable
+ * inside the wrapper itself whenever it fits in `Capacity` bytes; a
+ * larger callable still works — it spills to a single heap allocation
+ * — but the spill is observable via `spilled()` so the allocation
+ * profile can count it and tests can assert the hot paths stay inline.
+ *
+ * Capacity contract: pick Capacity from the *measured* worst-case hot
+ * capture, not from hope. The capacities used by the simulator are
+ * documented where the aliases are declared (EventQueue::LambdaFn and
+ * Packet::onResponse); growing a capture past them is legal but shows
+ * up as a nonzero `callbackHeapSpills` counter in the allocation
+ * profile, which the perf-label allocation-ceiling test rejects.
+ */
+
+#ifndef BCTRL_SIM_INLINE_FUNCTION_HH
+#define BCTRL_SIM_INLINE_FUNCTION_HH
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace bctrl {
+
+template <typename Signature, std::size_t Capacity>
+class InlineFunction; // undefined; only the R(Args...) partial below
+
+template <typename R, typename... Args, std::size_t Capacity>
+class InlineFunction<R(Args...), Capacity>
+{
+    static_assert(Capacity >= sizeof(void *),
+                  "capacity must hold at least the heap-spill pointer");
+
+  public:
+    InlineFunction() noexcept = default;
+    InlineFunction(std::nullptr_t) noexcept {}
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, InlineFunction> &&
+                  std::is_invocable_r_v<R, std::decay_t<F> &, Args...>>>
+    InlineFunction(F &&f)
+    {
+        construct(std::forward<F>(f));
+    }
+
+    InlineFunction(InlineFunction &&other) noexcept { moveFrom(other); }
+
+    InlineFunction &
+    operator=(InlineFunction &&other) noexcept
+    {
+        if (this != &other) {
+            destroy();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    InlineFunction &
+    operator=(std::nullptr_t) noexcept
+    {
+        destroy();
+        return *this;
+    }
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, InlineFunction> &&
+                  std::is_invocable_r_v<R, std::decay_t<F> &, Args...>>>
+    InlineFunction &
+    operator=(F &&f)
+    {
+        destroy();
+        construct(std::forward<F>(f));
+        return *this;
+    }
+
+    InlineFunction(const InlineFunction &) = delete;
+    InlineFunction &operator=(const InlineFunction &) = delete;
+
+    ~InlineFunction() { destroy(); }
+
+    explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+    /** True iff the stored callable lives on the heap (capacity miss). */
+    bool spilled() const noexcept { return ops_ != nullptr && ops_->heap; }
+
+    R
+    operator()(Args... args)
+    {
+        return ops_->invoke(buf_, std::forward<Args>(args)...);
+    }
+
+  private:
+    struct Ops {
+        R (*invoke)(void *, Args &&...);
+        void (*relocate)(void *dst, void *src); // move-construct + destroy
+        void (*destroy)(void *);
+        bool heap;
+    };
+
+    template <typename F>
+    struct InlineOps {
+        static R
+        invoke(void *p, Args &&...args)
+        {
+            return (*static_cast<F *>(p))(std::forward<Args>(args)...);
+        }
+        static void
+        relocate(void *dst, void *src)
+        {
+            F *s = static_cast<F *>(src);
+            ::new (dst) F(std::move(*s));
+            s->~F();
+        }
+        static void destroy(void *p) { static_cast<F *>(p)->~F(); }
+    };
+
+    template <typename F>
+    struct HeapOps {
+        static R
+        invoke(void *p, Args &&...args)
+        {
+            return (**static_cast<F **>(p))(std::forward<Args>(args)...);
+        }
+        static void
+        relocate(void *dst, void *src)
+        {
+            *static_cast<F **>(dst) = *static_cast<F **>(src);
+        }
+        static void destroy(void *p) { delete *static_cast<F **>(p); }
+    };
+
+    template <typename F>
+    static constexpr Ops kInlineOps{&InlineOps<F>::invoke,
+                                    &InlineOps<F>::relocate,
+                                    &InlineOps<F>::destroy, false};
+    template <typename F>
+    static constexpr Ops kHeapOps{&HeapOps<F>::invoke,
+                                  &HeapOps<F>::relocate,
+                                  &HeapOps<F>::destroy, true};
+
+    template <typename F>
+    void
+    construct(F &&f)
+    {
+        using Fn = std::decay_t<F>;
+        if constexpr (sizeof(Fn) <= Capacity &&
+                      alignof(Fn) <= alignof(std::max_align_t) &&
+                      std::is_nothrow_move_constructible_v<Fn>) {
+            ::new (static_cast<void *>(buf_)) Fn(std::forward<F>(f));
+            ops_ = &kInlineOps<Fn>;
+        } else {
+            *reinterpret_cast<Fn **>(buf_) = new Fn(std::forward<F>(f));
+            ops_ = &kHeapOps<Fn>;
+        }
+    }
+
+    void
+    moveFrom(InlineFunction &other) noexcept
+    {
+        ops_ = other.ops_;
+        if (ops_ != nullptr) {
+            ops_->relocate(buf_, other.buf_);
+            other.ops_ = nullptr;
+        }
+    }
+
+    void
+    destroy() noexcept
+    {
+        if (ops_ != nullptr) {
+            ops_->destroy(buf_);
+            ops_ = nullptr;
+        }
+    }
+
+    alignas(std::max_align_t) unsigned char buf_[Capacity];
+    const Ops *ops_ = nullptr;
+};
+
+template <typename Sig, std::size_t Cap>
+bool
+operator==(const InlineFunction<Sig, Cap> &f, std::nullptr_t) noexcept
+{
+    return !static_cast<bool>(f);
+}
+
+template <typename Sig, std::size_t Cap>
+bool
+operator!=(const InlineFunction<Sig, Cap> &f, std::nullptr_t) noexcept
+{
+    return static_cast<bool>(f);
+}
+
+} // namespace bctrl
+
+#endif // BCTRL_SIM_INLINE_FUNCTION_HH

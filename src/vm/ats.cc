@@ -25,10 +25,11 @@ struct WalkState {
 } // namespace
 
 Ats::Ats(EventQueue &eq, const std::string &name, const Params &params,
-         MemDevice &walk_path)
+         MemDevice &walk_path, PacketPool *pool)
     : SimObject(eq, name),
       params_(params),
       walkPath_(walk_path),
+      pool_(pool),
       l2Tlb_(eq, name + ".l2tlb", params.l2Tlb),
       translations_(statGroup().scalar("translations",
                                        "translation requests serviced")),
@@ -144,7 +145,7 @@ Ats::issueNextPte(const std::shared_ptr<void> &opaque)
     }
     const Addr pte_addr = state->result.pteAddrs[state->next++];
     auto pkt =
-        Packet::make(MemCmd::Read, pte_addr, 8, Requestor::trustedHw);
+        allocPacket(pool_, MemCmd::Read, pte_addr, 8, Requestor::trustedHw);
     pkt->issuedAt = curTick();
     pkt->onResponse = [this, opaque](Packet &) { issueNextPte(opaque); };
     walkPath_.access(pkt);

@@ -49,9 +49,10 @@ class Ats : public SimObject
 
     /**
      * @param walk_path trusted path to memory for PTE reads
+     * @param pool packet pool for PTE read packets; null = heap
      */
     Ats(EventQueue &eq, const std::string &name, const Params &params,
-        MemDevice &walk_path);
+        MemDevice &walk_path, PacketPool *pool = nullptr);
 
     /** The kernel provides ASID validation, page tables, and faults. */
     void setKernel(Kernel *kernel) { kernel_ = kernel; }
@@ -113,6 +114,7 @@ class Ats : public SimObject
 
     Params params_;
     MemDevice &walkPath_;
+    PacketPool *pool_;
     Kernel *kernel_ = nullptr;
     BorderControl *borderControl_ = nullptr;
     Tlb l2Tlb_;

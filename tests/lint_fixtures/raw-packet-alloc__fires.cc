@@ -1,0 +1,15 @@
+// bclint fixture: minting Packets directly bypasses the per-System
+// pool, so the hot request path allocates on every access.
+
+namespace bctrl {
+
+struct Packet;
+
+void
+poolBypassingIssuer()
+{
+    auto *pkt = new Packet();
+    (void)pkt;
+}
+
+} // namespace bctrl

@@ -1,0 +1,15 @@
+// bclint fixture: an allowed direct Packet allocation (e.g. pool
+// internals or a test that exercises packet lifetime directly).
+
+namespace bctrl {
+
+struct Packet;
+
+void
+packetLifetimeTest()
+{
+    auto *pkt = new Packet(); // bclint:allow(raw-packet-alloc)
+    (void)pkt;
+}
+
+} // namespace bctrl

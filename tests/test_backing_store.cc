@@ -82,3 +82,80 @@ TEST(BackingStore, OutOfRangeAccessPanics)
     EXPECT_DEATH(store.read((1 << 16) - 2, &byte, 4), "outside memory");
     EXPECT_DEATH(store.write64(1 << 16, 0), "outside memory");
 }
+
+TEST(BackingStore, MruCacheServesRepeatedSamePageLookups)
+{
+    BackingStore store(1 << 20);
+    store.write64(0x1000, 1); // allocate the page, prime the MRU slot
+    const std::uint64_t lookups_before = store.pageLookups();
+    const std::uint64_t hits_before = store.mruHits();
+    for (Addr off = 8; off < 256; off += 8)
+        store.write64(0x1000 + off, off);
+    const std::uint64_t lookups = store.pageLookups() - lookups_before;
+    const std::uint64_t hits = store.mruHits() - hits_before;
+    EXPECT_EQ(lookups, 31u);
+    EXPECT_EQ(hits, lookups); // every one answered by the MRU slot
+}
+
+TEST(BackingStore, MruCacheStaysCorrectAcrossPageAlternation)
+{
+    BackingStore store(1 << 20);
+    // Alternate between two pages so every lookup evicts the MRU
+    // entry; data must survive the churn.
+    for (int i = 0; i < 16; ++i) {
+        store.write64(0x1000 + i * 8, 0xA0 + i);
+        store.write64(0x2000 + i * 8, 0xB0 + i);
+    }
+    for (int i = 0; i < 16; ++i) {
+        EXPECT_EQ(store.read64(0x1000 + i * 8), 0xA0u + i);
+        EXPECT_EQ(store.read64(0x2000 + i * 8), 0xB0u + i);
+    }
+}
+
+TEST(BackingStore, MruAbsentEntryRefreshesOnAllocation)
+{
+    BackingStore store(1 << 20);
+    // Read an untouched page: the MRU slot caches "absent" (nullptr).
+    EXPECT_EQ(store.read64(0x3000), 0u);
+    EXPECT_EQ(store.residentPages(), 0u);
+    // Writing the same page allocates it; the MRU refresh must replace
+    // the stale absent entry, so the readback sees the new data.
+    store.write64(0x3000, 0x1234);
+    EXPECT_EQ(store.read64(0x3000), 0x1234u);
+    EXPECT_EQ(store.residentPages(), 1u);
+}
+
+TEST(BackingStore, MruSurvivesZeroAndCrossPageTransfers)
+{
+    BackingStore store(1 << 20);
+    std::vector<std::uint8_t> data(2 * pageSize, 0x5a);
+    const Addr base = pageSize - 64; // straddles a page boundary
+    store.write(base, data.data(), data.size());
+
+    // zero() mutates pages in place (never frees them), so a cached
+    // MRU pointer stays valid and must observe the cleared bytes.
+    EXPECT_EQ(store.read8(base), 0x5a);
+    store.zero(base, data.size());
+    EXPECT_EQ(store.read8(base), 0x00);
+    EXPECT_EQ(store.read8(base + data.size() - 1), 0x00);
+
+    std::vector<std::uint8_t> out(data.size(), 0xff);
+    store.read(base, out.data(), out.size());
+    for (std::uint8_t b : out)
+        ASSERT_EQ(b, 0x00);
+}
+
+TEST(BackingStore, PageDataPointerIsStableAndCached)
+{
+    BackingStore store(1 << 20);
+    std::uint8_t *page = store.pageData(0x4000);
+    ASSERT_NE(page, nullptr);
+    // Touching other pages must not invalidate the pointer.
+    store.write64(0x5000, 1);
+    store.write64(0x6000, 2);
+    EXPECT_EQ(store.pageData(0x4000), page);
+    EXPECT_EQ(store.pageDataIfResident(0x4080), page);
+    // Untouched pages stay non-resident through the const probe.
+    EXPECT_EQ(store.pageDataIfResident(0x7000), nullptr);
+    EXPECT_EQ(store.residentPages(), 3u);
+}

@@ -25,7 +25,7 @@ class RecordingMemory : public MemDevice
     void
     access(const PacketPtr &pkt) override
     {
-        log.push_back(*pkt);
+        log.push_back(pkt);
         if (pkt->isRead())
             pkt->grantedWritable = pkt->needsWritable;
         respondAt(eq_, pkt, eq_.curTick() + 10'000);
@@ -35,14 +35,14 @@ class RecordingMemory : public MemDevice
     count(Requestor who) const
     {
         unsigned n = 0;
-        for (const Packet &p : log) {
-            if (p.requestor == who)
+        for (const PacketPtr &p : log) {
+            if (p->requestor == who)
                 ++n;
         }
         return n;
     }
 
-    std::vector<Packet> log;
+    std::vector<PacketPtr> log;
 
   private:
     EventQueue &eq_;
@@ -147,8 +147,8 @@ TEST_F(BorderControlTest, DeniedWritesNeverReachMemory)
     BorderControl bc(eq, "bc", params(), mem);
     attach(bc);
     send(bc, MemCmd::Write, 0xdead000);
-    for (const Packet &p : mem.log)
-        EXPECT_NE(p.requestor, Requestor::accelerator);
+    for (const PacketPtr &p : mem.log)
+        EXPECT_NE(p->requestor, Requestor::accelerator);
 }
 
 TEST_F(BorderControlTest, ViolationHandlerIsNotified)

@@ -28,7 +28,7 @@ class RecordingMemory : public MemDevice
     void
     access(const PacketPtr &pkt) override
     {
-        log.push_back(*pkt);
+        log.push_back(pkt);
         if (pkt->isRead())
             pkt->grantedWritable = pkt->needsWritable;
         respondAt(eq_, pkt, eq_.curTick() + latency_);
@@ -38,14 +38,14 @@ class RecordingMemory : public MemDevice
     count(MemCmd cmd) const
     {
         unsigned n = 0;
-        for (const Packet &p : log) {
-            if (p.cmd == cmd)
+        for (const PacketPtr &p : log) {
+            if (p->cmd == cmd)
                 ++n;
         }
         return n;
     }
 
-    std::vector<Packet> log;
+    std::vector<PacketPtr> log;
 
   private:
     EventQueue &eq_;
@@ -93,8 +93,8 @@ TEST_F(CacheTest, ReadMissFetchesWholeBlockThenHits)
     doAccess(c, MemCmd::Read, 0x1000);
     EXPECT_EQ(c.demandMisses(), 1u);
     ASSERT_EQ(mem.log.size(), 1u);
-    EXPECT_EQ(mem.log[0].paddr, 0x1000u);
-    EXPECT_EQ(mem.log[0].size, blockSize);
+    EXPECT_EQ(mem.log[0]->paddr, 0x1000u);
+    EXPECT_EQ(mem.log[0]->size, blockSize);
 
     doAccess(c, MemCmd::Read, 0x1040); // other half of the line
     EXPECT_EQ(c.demandHits(), 1u);
@@ -134,8 +134,8 @@ TEST_F(CacheTest, WriteMissInWritebackCacheFetchesExclusive)
     Cache c(eq, "c", smallParams(), mem);
     doAccess(c, MemCmd::Write, 0x4000);
     ASSERT_EQ(mem.log.size(), 1u);
-    EXPECT_TRUE(mem.log[0].isRead());
-    EXPECT_TRUE(mem.log[0].needsWritable);
+    EXPECT_TRUE(mem.log[0]->isRead());
+    EXPECT_TRUE(mem.log[0]->needsWritable);
     // Subsequent write hits in place, no traffic.
     doAccess(c, MemCmd::Write, 0x4020);
     EXPECT_EQ(mem.log.size(), 1u);
@@ -220,7 +220,7 @@ TEST_F(CacheTest, FlushPageIsSelective)
     eq.run();
     EXPECT_TRUE(flushed);
     EXPECT_EQ(mem.count(MemCmd::Writeback), 1u);
-    EXPECT_EQ(mem.log[0].paddr, 0x8000u);
+    EXPECT_EQ(mem.log[0]->paddr, 0x8000u);
     // Page 9's block is still resident and dirty.
     doAccess(c, MemCmd::Read, 0x9000);
     EXPECT_EQ(mem.count(MemCmd::Read), 0u);
@@ -281,8 +281,8 @@ TEST_F(CacheTest, WriteToSharedBlockTriggersUpgrade)
     // Writing it requires a second, exclusive fill.
     doAccess(c, MemCmd::Write, 0xd000);
     ASSERT_EQ(mem.log.size(), 1u);
-    EXPECT_TRUE(mem.log[0].isRead());
-    EXPECT_TRUE(mem.log[0].needsWritable);
+    EXPECT_TRUE(mem.log[0]->isRead());
+    EXPECT_TRUE(mem.log[0]->needsWritable);
 }
 
 TEST_F(CacheTest, BankConflictsSerializeAccesses)

@@ -20,6 +20,8 @@
  *   namespace-bctrl     src/ code lives in namespace bctrl
  *   addr-arith          no raw page/block shift-mask arithmetic outside
  *                       the mem/addr.hh helpers
+ *   raw-packet-alloc    no direct Packet minting outside the pool
+ *                       factory; go through allocPacket()
  *
  * Suppression: `// bclint:allow(rule-id[, rule-id...])` on the finding
  * line or the line above it; `// bclint:allow-file(rule-id)` anywhere
@@ -97,6 +99,10 @@ const RuleInfo kRules[] = {
      "no mutable namespace-scope variables in src/: concurrent "
      "Systems share one process; keep state per-System, const, or "
      "std::atomic"},
+    {"raw-packet-alloc",
+     "no make_shared<Packet>/new Packet/Packet::make outside the "
+     "packet pool factory; mint through allocPacket() so steady-state "
+     "traffic reuses pooled packets"},
 };
 
 bool
@@ -294,6 +300,11 @@ patternRules()
         add("addr-arith", R"(&\s*~?\s*(pageMask|blockMask)\b)",
             "raw mask by a page/block constant; use pageAlign/"
             "pageOffset/blockAlign from mem/addr.hh");
+        add("raw-packet-alloc",
+            R"(\bmake_shared\s*<\s*Packet\s*>|\bnew\s+Packet\b|\bPacket::make\s*\()",
+            "direct Packet minting bypasses the pool; use "
+            "allocPacket(pool, ...) (or PacketPool::make) so "
+            "steady-state traffic stays allocation-free");
         return r;
     }();
     return rules;
@@ -312,6 +323,15 @@ ruleAppliesToPath(const SourceFile &sf, const std::string &rule)
     }
     if (rule == "addr-arith")
         return sf.relPath != "src/mem/addr.hh";
+    if (rule == "raw-packet-alloc") {
+        // The pool and its heap fallback are the only legitimate
+        // minters; tests/tools construct packets freely (no pool).
+        return startsWith(sf.relPath, "src/") &&
+               sf.relPath != "src/mem/packet.hh" &&
+               sf.relPath != "src/mem/packet.cc" &&
+               sf.relPath != "src/mem/packet_pool.hh" &&
+               sf.relPath != "src/mem/packet_pool.cc";
+    }
     if (rule == "namespace-bctrl")
         return startsWith(sf.relPath, "src/");
     if (rule == "mutable-global-state") {

@@ -16,6 +16,7 @@
  *   bctrl_sweep --workloads bfs,lud --safety bc-bcc,ats-only
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -373,6 +374,34 @@ main(int argc, char **argv)
         }
     }
     std::fprintf(f, "\n  ],\n");
+
+    // Aggregate allocation profile across the whole sweep: how
+    // allocation-free the hot request path was (one System per run).
+    {
+        std::uint64_t pool_allocs = 0, lambda_allocs = 0, spills = 0;
+        std::uint64_t max_peak = 0;
+        double mru_sum = 0;
+        for (const SweepOutcome &o : outcomes) {
+            pool_allocs += o.result.packetPoolAllocs;
+            max_peak = std::max(max_peak, o.result.packetPoolPeak);
+            lambda_allocs += o.result.lambdaPoolAllocs;
+            spills += o.result.callbackHeapSpills;
+            mru_sum += o.result.backingStoreMruHitRate;
+        }
+        std::fprintf(
+            f,
+            "  \"allocationProfile\": {\"packetPoolAllocs\": %llu, "
+            "\"maxPacketPoolPeak\": %llu, \"lambdaPoolAllocs\": %llu, "
+            "\"callbackHeapSpills\": %llu, "
+            "\"meanBackingStoreMruHitRate\": %s},\n",
+            (unsigned long long)pool_allocs,
+            (unsigned long long)max_peak,
+            (unsigned long long)lambda_allocs,
+            (unsigned long long)spills,
+            formatDouble(mru_sum /
+                         static_cast<double>(outcomes.size()))
+                .c_str());
+    }
 
     std::fprintf(
         f,
