@@ -3,7 +3,9 @@
 #include <algorithm>
 
 #include "sim/contracts.hh"
+#include "sim/host_profiler.hh"
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace bctrl {
 
@@ -28,7 +30,16 @@ BorderControl::BorderControl(EventQueue &eq, const std::string &name,
       insertions_(statGroup().scalar(
           "insertions", "Protection Table insertions from the ATS")),
       tableTrafficBytes_(statGroup().scalar(
-          "tableTrafficBytes", "memory traffic to the Protection Table"))
+          "tableTrafficBytes", "memory traffic to the Protection Table")),
+      checkLatencyBccHit_(statGroup().histogram(
+          "checkLatencyBccHit",
+          "border check latency in ticks, resolved by a BCC hit")),
+      checkLatencyTableWalk_(statGroup().histogram(
+          "checkLatencyTableWalk",
+          "border check latency in ticks, resolved by a table walk")),
+      checkLatencyDenied_(statGroup().histogram(
+          "checkLatencyDenied",
+          "border check latency in ticks for denied accesses"))
 {
     panic_if(params_.clockPeriod == 0, "Border Control clock is zero");
 }
@@ -81,22 +92,26 @@ BorderControl::chargeTableAccess(Addr table_addr, unsigned bytes,
 }
 
 Perms
-BorderControl::evaluate(Addr ppn, Tick &check_done)
+BorderControl::evaluate(Addr ppn, Tick &check_done,
+                        CheckOutcome &outcome)
 {
     // §3.2.3: the Protection Table is only consulted after the bounds
     // check; anything outside bounds has no permissions.
     if (table_ == nullptr) {
         check_done = clockEdge();
+        outcome = CheckOutcome::boundsOnly;
         return Perms::noAccess();
     }
 
     if (params_.useBcc) {
         if (!table_->inBounds(ppn)) {
             check_done = clockEdge(params_.bccLatency);
+            outcome = CheckOutcome::boundsOnly;
             return Perms::noAccess();
         }
         if (auto hit = bcc_.lookup(ppn)) {
             ++bccHitStat_;
+            outcome = CheckOutcome::bccHit;
             // Inclusion contract (paper §3.3): the BCC is write-through
             // to the Protection Table, so a resident entry must hold
             // exactly the permissions the table holds. A divergence
@@ -118,15 +133,18 @@ BorderControl::evaluate(Addr ppn, Tick &check_done)
                           false);
         check_done =
             clockEdge(params_.bccLatency + params_.tableLatency);
+        outcome = CheckOutcome::tableWalk;
         return perms;
     }
 
     if (!table_->inBounds(ppn)) {
         check_done = clockEdge();
+        outcome = CheckOutcome::boundsOnly;
         return Perms::noAccess();
     }
     chargeTableAccess(table_->entryAddr(ppn), 64, false);
     check_done = clockEdge(params_.tableLatency);
+    outcome = CheckOutcome::tableWalk;
     return table_->getPerms(ppn);
 }
 
@@ -153,6 +171,9 @@ BorderControl::access(const PacketPtr &pkt)
         return;
     }
 
+    HostProfiler::Scope profile(eventQueue().profiler(),
+                                HostProfiler::Slot::borderControl);
+
     ++borderRequests_;
     if (pkt->isRead())
         ++readChecks_;
@@ -161,13 +182,45 @@ BorderControl::access(const PacketPtr &pkt)
     if (traceHook_)
         traceHook_(pkt->pageNum());
 
+    const Tick now = curTick();
     Tick check_done = 0;
-    const Perms have = evaluate(pkt->pageNum(), check_done);
+    CheckOutcome outcome = CheckOutcome::boundsOnly;
+    const Perms have = evaluate(pkt->pageNum(), check_done, outcome);
     const Perms need{pkt->isRead(), pkt->isWrite()};
+    const Tick check_latency = check_done - now;
 
     if (!have.covers(need)) {
+        checkLatencyDenied_.sample(static_cast<double>(check_latency));
+        trace::emit(eventQueue(), trace::Flag::BCC, name().c_str(),
+                    "deny", now, check_latency, pkt->traceId,
+                    pkt->paddr);
         deny(pkt, check_done);
         return;
+    }
+
+    switch (outcome) {
+      case CheckOutcome::bccHit:
+        checkLatencyBccHit_.sample(static_cast<double>(check_latency));
+        trace::emit(eventQueue(), trace::Flag::BCC, name().c_str(),
+                    "bccHit", now, check_latency, pkt->traceId,
+                    pkt->paddr);
+        break;
+      case CheckOutcome::tableWalk:
+        checkLatencyTableWalk_.sample(
+            static_cast<double>(check_latency));
+        if (params_.useBcc) {
+            trace::emit(eventQueue(), trace::Flag::BCC, name().c_str(),
+                        "bccMiss", now, 0, pkt->traceId, pkt->paddr);
+        }
+        trace::emit(eventQueue(), trace::Flag::ProtTable, name().c_str(),
+                    "tableWalk", now, check_latency, pkt->traceId,
+                    pkt->paddr);
+        break;
+      case CheckOutcome::boundsOnly:
+        // Covered permissions with no table consult cannot happen
+        // (no-table and out-of-bounds checks grant nothing), so this
+        // arm is unreachable on the allow path.
+        break;
     }
 
     if (pkt->isRead() && !params_.serializeReadChecks) {
@@ -199,6 +252,8 @@ BorderControl::onTranslation(Asid asid, Addr vpn, Addr ppn, Perms perms,
         return;
 
     ++insertions_;
+    trace::emit(eventQueue(), trace::Flag::ProtTable, name().c_str(),
+                "insert", curTick(), 0, 0, ppn * pageSize);
     const unsigned pages = large_page ? pagesPerLargePage : 1;
     for (unsigned i = 0; i < pages; ++i) {
         const Addr p = ppn + i;
@@ -230,6 +285,8 @@ BorderControl::downgradePage(Addr ppn, Perms new_perms)
     if (!table_->inBounds(ppn))
         return;
     table_->setPerms(ppn, new_perms);
+    trace::emit(eventQueue(), trace::Flag::ProtTable, name().c_str(),
+                "downgrade", curTick(), 0, 0, ppn * pageSize);
     if (params_.useBcc)
         bcc_.update(ppn, new_perms);
     // A downgrade must land in both structures or the stale BCC copy
@@ -249,6 +306,8 @@ BorderControl::zeroTableAndInvalidate()
         return;
     table_->zeroAll();
     bcc_.invalidateAll();
+    trace::emit(eventQueue(), trace::Flag::ProtTable, name().c_str(),
+                "zeroTable", curTick());
     // Zeroing streams the whole table through memory.
     chargeTableAccess(table_->base(),
                       static_cast<unsigned>(table_->sizeBytes()), true);

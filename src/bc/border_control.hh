@@ -139,13 +139,20 @@ class BorderControl : public SimObject, public MemDevice
     std::uint64_t bccMisses() const { return bcc_.misses(); }
 
   private:
+    /** How a permission check was resolved (latency attribution). */
+    enum class CheckOutcome {
+        bccHit,    ///< answered by the Border Control Cache
+        tableWalk, ///< BCC miss (or no BCC): Protection Table consulted
+        boundsOnly ///< rejected by the bounds check / no table attached
+    };
+
     Tick clockEdge(Cycles cycles = 0) const;
 
     /** Inject trusted traffic for a Protection Table access. */
     void chargeTableAccess(Addr table_addr, unsigned bytes, bool write);
 
     /** Evaluate the check: permissions the table grants for @p ppn. */
-    Perms evaluate(Addr ppn, Tick &check_done);
+    Perms evaluate(Addr ppn, Tick &check_done, CheckOutcome &outcome);
 
     /** Deny @p pkt: no forwarding, denied response, OS notification. */
     void deny(const PacketPtr &pkt, Tick when);
@@ -167,6 +174,10 @@ class BorderControl : public SimObject, public MemDevice
     stats::Scalar &bccMissStat_;
     stats::Scalar &insertions_;
     stats::Scalar &tableTrafficBytes_;
+    /** Check latency in ticks, split by how the check resolved. */
+    stats::Histogram &checkLatencyBccHit_;
+    stats::Histogram &checkLatencyTableWalk_;
+    stats::Histogram &checkLatencyDenied_;
 };
 
 } // namespace bctrl

@@ -3,7 +3,9 @@
 #include <algorithm>
 
 #include "sim/contracts.hh"
+#include "sim/host_profiler.hh"
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace bctrl {
 
@@ -25,7 +27,11 @@ Cache::Cache(EventQueue &eq, const std::string &name, const Params &params,
       deferrals_(statGroup().scalar("deferrals",
                                     "accesses deferred on full MSHRs")),
       missLatency_(statGroup().distribution("missLatency",
-                                            "demand miss latency (ticks)"))
+                                            "demand miss latency (ticks)")),
+      mshrOccupancy_(statGroup().histogram(
+          "mshrOccupancy", "MSHRs in service at each allocation")),
+      missToFill_(statGroup().histogram(
+          "missToFill", "fill round-trip latency in ticks"))
 {
     panic_if(params_.clockPeriod == 0, "cache clock period is zero");
 }
@@ -70,8 +76,14 @@ Cache::bankReady(Addr addr)
 void
 Cache::access(const PacketPtr &pkt)
 {
+    HostProfiler::Scope profile(eventQueue().profiler(),
+                                HostProfiler::Slot::cache);
+
     const Tick ready = bankReady(pkt->paddr);
     CacheBlock *blk = tags_.accessBlock(pkt->paddr);
+    trace::emit(eventQueue(), trace::Flag::Cache, name().c_str(),
+                blk != nullptr ? "hit" : "miss", curTick(),
+                ready - curTick(), pkt->traceId, pkt->paddr);
 
     if (pkt->isRead()) {
         if (blk) {
@@ -134,6 +146,7 @@ Cache::handleMiss(const PacketPtr &pkt, Tick ready)
         return;
     }
 
+    mshrOccupancy_.sample(static_cast<double>(mshrs_.inService()));
     Mshr &mshr = mshrs_.allocate(block_addr);
     mshr.targets.push_back(pkt);
     mshr.needsWritable = pkt->isWrite();
@@ -154,6 +167,11 @@ Cache::sendFill(Addr block_addr, bool needs_writable)
 void
 Cache::handleFill(Packet &fill)
 {
+    missToFill_.sample(static_cast<double>(curTick() - fill.issuedAt));
+    trace::emit(eventQueue(), trace::Flag::Cache, name().c_str(), "fill",
+                fill.issuedAt, curTick() - fill.issuedAt, fill.traceId,
+                fill.paddr);
+
     const Addr block_addr = fill.paddr;
     Mshr *mshr = mshrs_.find(block_addr);
     panic_if(mshr == nullptr, "fill response for absent MSHR 0x%llx",

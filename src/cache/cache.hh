@@ -147,6 +147,10 @@ class Cache : public SimObject, public MemDevice
     stats::Scalar &evictions_;
     stats::Scalar &deferrals_;
     stats::Distribution &missLatency_;
+    /** MSHRs in service, sampled at each allocation. */
+    stats::Histogram &mshrOccupancy_;
+    /** Fill round-trip in ticks (sendFill to handleFill). */
+    stats::Histogram &missToFill_;
 };
 
 } // namespace bctrl

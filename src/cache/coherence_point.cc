@@ -1,7 +1,9 @@
 #include "cache/coherence_point.hh"
 
 #include "cache/cache.hh"
+#include "sim/host_profiler.hh"
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace bctrl {
 
@@ -79,6 +81,9 @@ CoherencePoint::handleFillRequest(const PacketPtr &pkt, BlockState &st)
 void
 CoherencePoint::access(const PacketPtr &pkt)
 {
+    HostProfiler::Scope profile(eventQueue().profiler(),
+                                HostProfiler::Slot::coherence);
+
     ++requests_;
     Tick delay = params_.latency;
 
@@ -113,6 +118,10 @@ CoherencePoint::access(const PacketPtr &pkt)
             // Uncached read: no state change.
         }
     }
+
+    trace::emit(eventQueue(), trace::Flag::Coherence, name().c_str(),
+                delay > params_.latency ? "recall" : "request",
+                curTick(), delay, pkt->traceId, pkt->paddr);
 
     eventQueue().scheduleLambda([this, pkt]() { memory_.access(pkt); },
                                 curTick() + delay);

@@ -9,6 +9,17 @@ System::System(const SystemConfig &config)
 {
     const Tick gpu_period = config_.gpuPeriod();
 
+    // Observability first, so every component constructed below can
+    // already see the hooks through the event queue.
+    if (config_.traceMask != 0) {
+        tracer_ = std::make_unique<trace::Tracer>(config_.traceMask);
+        eventQueue_.setTracer(tracer_.get());
+    }
+    if (config_.hostProfile) {
+        profiler_ = std::make_unique<HostProfiler>();
+        eventQueue_.setProfiler(profiler_.get());
+    }
+
     store_ = std::make_unique<BackingStore>(config_.physMemBytes);
 
     // Host-side allocation profile: how allocation-free the hot request
@@ -383,6 +394,30 @@ System::dumpStats(std::ostream &os) const
         iommuFrontend_->statGroup().print(os);
     gpu_->statGroup().print(os);
     allocProf_.print(os);
+}
+
+void
+System::dumpStatsJson(std::ostream &os) const
+{
+    bool first = true;
+    os << "{";
+    dram_->statGroup().printJsonInto(os, first);
+    cpuCore_->statGroup().printJsonInto(os, first);
+    cpuL1_->statGroup().printJsonInto(os, first);
+    cpuL2_->statGroup().printJsonInto(os, first);
+    coherence_->statGroup().printJsonInto(os, first);
+    bus_->statGroup().printJsonInto(os, first);
+    kernel_->statGroup().printJsonInto(os, first);
+    ats_->statGroup().printJsonInto(os, first);
+    if (borderControl_)
+        borderControl_->statGroup().printJsonInto(os, first);
+    if (capiL2_)
+        capiL2_->statGroup().printJsonInto(os, first);
+    if (iommuFrontend_)
+        iommuFrontend_->statGroup().printJsonInto(os, first);
+    gpu_->statGroup().printJsonInto(os, first);
+    allocProf_.printJsonInto(os, first);
+    os << "}";
 }
 
 } // namespace bctrl

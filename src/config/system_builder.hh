@@ -24,7 +24,9 @@
 #include "mem/mem_bus.hh"
 #include "mem/packet_pool.hh"
 #include "os/kernel.hh"
+#include "sim/host_profiler.hh"
 #include "sim/stats.hh"
+#include "sim/trace.hh"
 #include "vm/iommu_frontend.hh"
 
 namespace bctrl {
@@ -74,10 +76,20 @@ class System
     Cache *capiL2() { return capiL2_.get(); }
     /** The device accelerator traffic enters when it leaves the GPU. */
     MemDevice &borderDevice();
+    /** Null unless the config's traceMask is nonzero. */
+    trace::Tracer *tracer() { return tracer_.get(); }
+    /** Null unless the config enabled host profiling. */
+    HostProfiler *hostProfiler() { return profiler_.get(); }
     /// @}
 
     /** Print every component's statistics. */
     void dumpStats(std::ostream &os) const;
+
+    /**
+     * All components' statistics as one flat JSON object keyed by
+     * fully qualified stat name.
+     */
+    void dumpStatsJson(std::ostream &os) const;
 
   private:
     RunResult collect(const std::string &workload_name, Tick runtime,
@@ -91,6 +103,15 @@ class System
      * still be released into the pool while components tear down.
      */
     PacketPool packetPool_;
+    /**
+     * Trace sink and host profiler (null when disabled). Declared
+     * before the components: trace Records borrow component name
+     * strings, so the Tracer must still be alive while components emit
+     * during teardown-adjacent activity, and both must outlive the
+     * EventQueue consumers that hold raw pointers to them.
+     */
+    std::unique_ptr<trace::Tracer> tracer_;
+    std::unique_ptr<HostProfiler> profiler_;
     /** "system.allocprof" counters, printed last by dumpStats(). */
     stats::StatGroup allocProf_;
     std::unique_ptr<BackingStore> store_;

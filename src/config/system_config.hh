@@ -108,6 +108,17 @@ struct SystemConfig {
     std::uint64_t workloadScale = 1;
     std::uint64_t seed = 1;
 
+    /** @name Observability (host-side; never alters simulated state) */
+    /// @{
+    /**
+     * Bitwise OR of trace::Flag values; 0 (the default) leaves the
+     * System without a Tracer, so the hot-path cost is one branch.
+     */
+    std::uint32_t traceMask = 0;
+    /** Attribute host wall time to components (sweep profile block). */
+    bool hostProfile = false;
+    /// @}
+
     /** Derived: GPU clock period in ticks. */
     Tick gpuPeriod() const { return periodFromFrequency(gpuFreqHz); }
     Tick cpuPeriod() const { return periodFromFrequency(cpuFreqHz); }

@@ -5,7 +5,9 @@
 #include "gpu/compute_unit.hh"
 #include "gpu/wavefront.hh"
 #include "os/process.hh"
+#include "sim/host_profiler.hh"
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace bctrl {
 
@@ -125,6 +127,9 @@ void
 Gpu::issueMem(unsigned cu, const WorkItem &item,
               std::function<void(bool denied)> done)
 {
+    HostProfiler::Scope profile(eventQueue().profiler(),
+                                HostProfiler::Slot::gpu);
+
     ++memOps_;
     ++outstandingMemOps_;
     if (params_.kind == DatapathKind::physCached)
@@ -180,9 +185,18 @@ Gpu::issuePhys(unsigned cu, const WorkItem &item,
                         paddr, item.size, Requestor::accelerator,
                         asid_);
         pkt->issuedAt = curTick();
+        trace::emit(eventQueue(), trace::Flag::PacketLife,
+                    name().c_str(), "issue", curTick(), 0, pkt->traceId,
+                    pkt->paddr);
         auto self = this;
         pkt->onResponse = [self, done = std::move(done)](Packet &p)
-            mutable { self->finishMemOp(p.denied, std::move(done)); };
+            mutable {
+            trace::emit(self->eventQueue(), trace::Flag::PacketLife,
+                        self->name().c_str(), "retire", p.issuedAt,
+                        self->curTick() - p.issuedAt, p.traceId,
+                        p.paddr);
+            self->finishMemOp(p.denied, std::move(done));
+        };
         l1Caches_[cu]->access(pkt);
     };
 
@@ -233,6 +247,9 @@ Gpu::issueIommu(const WorkItem &item,
         pkt->isVirtual = true;
         pkt->vaddr = item.vaddr + Addr(i) * subSize;
         pkt->issuedAt = curTick();
+        trace::emit(eventQueue(), trace::Flag::PacketLife,
+                    name().c_str(), "issue", curTick(), 0, pkt->traceId,
+                    pkt->vaddr);
         auto self = this;
         pkt->onResponse = [self, join](Packet &p) {
             join->denied = join->denied || p.denied;

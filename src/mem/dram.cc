@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "sim/host_profiler.hh"
+#include "sim/trace.hh"
+
 namespace bctrl {
 
 Dram::Dram(EventQueue &eq, const std::string &name, BackingStore &store,
@@ -15,7 +18,9 @@ Dram::Dram(EventQueue &eq, const std::string &name, BackingStore &store,
       bytesRead_(statGroup().scalar("bytesRead", "bytes read")),
       bytesWritten_(statGroup().scalar("bytesWritten", "bytes written")),
       readLatency_(statGroup().distribution(
-          "readLatency", "read latency including queueing (ticks)"))
+          "readLatency", "read latency including queueing (ticks)")),
+      queueDelay_(statGroup().histogram(
+          "queueDelay", "ticks spent waiting for the channel"))
 {
 }
 
@@ -33,11 +38,19 @@ Dram::transferTime(unsigned bytes) const
 void
 Dram::access(const PacketPtr &pkt)
 {
+    HostProfiler::Scope profile(eventQueue().profiler(),
+                                HostProfiler::Slot::dram);
+
     const Tick now = curTick();
     const Tick start = std::max(now, busyUntil_);
     const Tick xfer = transferTime(pkt->size);
     busyUntil_ = start + xfer;
     busyTime_ += xfer;
+
+    queueDelay_.sample(static_cast<double>(start - now));
+    trace::emit(eventQueue(), trace::Flag::DRAM, name().c_str(),
+                pkt->isRead() ? "read" : "write", start, xfer,
+                pkt->traceId, pkt->paddr);
 
     if (pkt->isRead()) {
         // Memory is the default owner: a fill that asked for a

@@ -61,6 +61,8 @@ class Dram : public SimObject, public MemDevice
     stats::Scalar &bytesRead_;
     stats::Scalar &bytesWritten_;
     stats::Distribution &readLatency_;
+    /** Ticks a request waited for the channel before its transfer. */
+    stats::Histogram &queueDelay_;
 };
 
 } // namespace bctrl

@@ -108,6 +108,12 @@ struct Packet {
      * consumes it by adding the extra delivery hop the check requires.
      */
     Tick responseGateTick = 0;
+    /**
+     * Stable identity for trace correlation: assigned by the pool at
+     * make() (never recycled with the packet), 0 for heap-fallback
+     * packets. Purely observational — no simulated behavior reads it.
+     */
+    std::uint64_t traceId = 0;
     /** Intrusive reference count; managed by PacketPtr only. */
     std::uint32_t refCount = 0;
     /** Owning pool, or null for heap-fallback packets. */

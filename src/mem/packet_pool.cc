@@ -83,6 +83,7 @@ PacketPool::make(MemCmd cmd, Addr paddr, unsigned size, Requestor req,
     pkt->grantedWritable = false;
     pkt->responded = false;
     pkt->responseGateTick = 0;
+    pkt->traceId = ++nextTraceId_;
 
     if (++inFlight_ > peakInFlight_)
         peakInFlight_ = inFlight_;

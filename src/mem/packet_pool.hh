@@ -66,6 +66,8 @@ class PacketPool
     void release(Packet *pkt);
 
     std::vector<Packet *> free_;
+    /** Monotonic trace-id source; ids are never reused on recycle. */
+    std::uint64_t nextTraceId_ = 0;
     std::uint64_t heapAllocs_ = 0;
     std::uint64_t inFlight_ = 0;
     std::uint64_t peakInFlight_ = 0;

@@ -1,6 +1,7 @@
 #include "sim/event_queue.hh"
 
 #include "sim/contracts.hh"
+#include "sim/host_profiler.hh"
 
 namespace bctrl {
 
@@ -168,7 +169,16 @@ EventQueue::serviceOne(Tick maxTick)
         ev->scheduled_ = false;
         --liveEvents_;
         ++processed_;
-        ev->process();
+        if (profiler_ != nullptr) {
+            // The eventLoop slot wraps every callback: it is the
+            // denominator for events/sec and the 100% reference the
+            // per-component inclusive slots are read against.
+            HostProfiler::Scope scope(profiler_,
+                                      HostProfiler::Slot::eventLoop);
+            ev->process();
+        } else {
+            ev->process();
+        }
         if (e.ownedLambda)
             recycleLambda(ev);
         return true;

@@ -23,6 +23,11 @@
 namespace bctrl {
 
 class EventQueue;
+class HostProfiler;
+
+namespace trace {
+class Tracer;
+} // namespace trace
 
 /**
  * Inline capacity of queue-owned lambda callbacks. Sized for the
@@ -205,6 +210,20 @@ class EventQueue
      */
     std::uint64_t lambdaSpills() const { return lambdaSpills_; }
 
+    /**
+     * @name Observability hooks
+     * Both pointers are null unless the owning System enabled the
+     * facility, so the disabled cost at every emit/profile site is a
+     * single pointer-load-and-branch. Neither facility ever mutates
+     * simulated state: enabling them is bit-identical on RunResults.
+     */
+    /// @{
+    trace::Tracer *tracer() const { return tracer_; }
+    void setTracer(trace::Tracer *tracer) { tracer_ = tracer; }
+    HostProfiler *profiler() const { return profiler_; }
+    void setProfiler(HostProfiler *profiler) { profiler_ = profiler; }
+    /// @}
+
   private:
     struct Entry {
         Tick when;
@@ -249,6 +268,8 @@ class EventQueue
     std::vector<LambdaEvent *> lambdaPool_;
     std::uint64_t lambdaAllocs_ = 0;
     std::uint64_t lambdaSpills_ = 0;
+    trace::Tracer *tracer_ = nullptr;
+    HostProfiler *profiler_ = nullptr;
 };
 
 /**

@@ -1,16 +1,85 @@
 #include "sim/stats.hh"
 
+#include <algorithm>
+#include <bit>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
 #include <iomanip>
 #include <memory>
 
 namespace bctrl {
 namespace stats {
 
+std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "0";
+    // Integers up to 2^53 render exactly without an exponent; that
+    // covers every counter this simulator produces and keeps the JSON
+    // round-trippable through tools that parse integers strictly.
+    if (v == std::floor(v) && std::abs(v) < 9.0e15) {
+        char buf[32];
+        auto res = std::to_chars(buf, buf + sizeof(buf),
+                                 static_cast<long long>(v));
+        return std::string(buf, res.ptr);
+    }
+    char buf[64];
+    auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    return std::string(buf, res.ptr);
+}
+
+std::string
+jsonQuote(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    out.push_back('"');
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    out.push_back('"');
+    return out;
+}
+
 void
 Scalar::print(std::ostream &os) const
 {
     os << std::left << std::setw(48) << name() << " "
        << std::setprecision(12) << value_ << "  # " << desc() << "\n";
+}
+
+void
+Scalar::printJson(std::ostream &os) const
+{
+    os << jsonNumber(value_);
 }
 
 void
@@ -27,6 +96,23 @@ Distribution::sample(double v, std::uint64_t count)
     }
     count_ += count;
     sum_ += v * static_cast<double>(count);
+    // West's weighted Welford update: unlike the naive E[x^2]-E[x]^2
+    // formula it never cancels catastrophically, so a constant stream
+    // of large values reports a stdev of (near) zero, not hundreds.
+    const double w = static_cast<double>(count);
+    const double delta = v - mean_;
+    mean_ += delta * w / static_cast<double>(count_);
+    m2_ += w * delta * (v - mean_);
+}
+
+double
+Distribution::stdev() const
+{
+    if (count_ < 2)
+        return 0.0;
+    const double var = m2_ / static_cast<double>(count_);
+    // Rounding can still push a zero variance a hair negative.
+    return var > 0.0 ? std::sqrt(var) : 0.0;
 }
 
 void
@@ -40,11 +126,151 @@ Distribution::print(std::ostream &os) const
        << "\n";
     os << std::left << std::setw(48) << (name() + "::max") << " " << max()
        << "\n";
+    os << std::left << std::setw(48) << (name() + "::stdev") << " "
+       << stdev() << "\n";
+}
+
+void
+Distribution::printJson(std::ostream &os) const
+{
+    os << "{\"count\":" << count_ << ",\"mean\":" << jsonNumber(mean())
+       << ",\"min\":" << jsonNumber(min())
+       << ",\"max\":" << jsonNumber(max())
+       << ",\"stdev\":" << jsonNumber(stdev()) << "}";
 }
 
 void
 Distribution::reset()
 {
+    count_ = 0;
+    sum_ = 0;
+    mean_ = 0;
+    m2_ = 0;
+    min_ = 0;
+    max_ = 0;
+}
+
+unsigned
+Histogram::bucketOf(double v)
+{
+    if (v < 1.0)
+        return 0;
+    // bit_width(x) = floor(log2(x)) + 1, so [2^(k-1), 2^k) maps to
+    // bucket k for every representable Tick-sized sample.
+    const auto x = static_cast<std::uint64_t>(v);
+    const unsigned b = static_cast<unsigned>(std::bit_width(x));
+    return b < numBuckets ? b : numBuckets - 1;
+}
+
+double
+Histogram::bucketLow(unsigned i)
+{
+    if (i == 0)
+        return 0.0;
+    return std::ldexp(1.0, static_cast<int>(i) - 1);
+}
+
+double
+Histogram::bucketHigh(unsigned i)
+{
+    return std::ldexp(1.0, static_cast<int>(i));
+}
+
+void
+Histogram::sample(double v, std::uint64_t count)
+{
+    if (count == 0)
+        return;
+    if (count_ == 0) {
+        min_ = v;
+        max_ = v;
+    } else {
+        if (v < min_)
+            min_ = v;
+        if (v > max_)
+            max_ = v;
+    }
+    count_ += count;
+    sum_ += v * static_cast<double>(count);
+    buckets_[bucketOf(v)] += count;
+}
+
+double
+Histogram::percentile(double p) const
+{
+    if (count_ == 0)
+        return 0.0;
+    p = std::clamp(p, 0.0, 1.0);
+    // Nearest-rank target, then linear interpolation across the
+    // landing bucket's observed value range.
+    const double rank =
+        std::max(1.0, std::ceil(p * static_cast<double>(count_)));
+    std::uint64_t cumBefore = 0;
+    for (unsigned i = 0; i < numBuckets; ++i) {
+        const std::uint64_t n = buckets_[i];
+        if (n == 0)
+            continue;
+        if (rank <= static_cast<double>(cumBefore + n)) {
+            const double low = std::max(bucketLow(i), min_);
+            const double high = std::min(bucketHigh(i), max_);
+            const double frac =
+                (rank - static_cast<double>(cumBefore)) /
+                static_cast<double>(n);
+            const double v = low + (high - low) * frac;
+            return std::clamp(v, min_, max_);
+        }
+        cumBefore += n;
+    }
+    return max_;
+}
+
+void
+Histogram::print(std::ostream &os) const
+{
+    os << std::left << std::setw(48) << (name() + "::mean") << " "
+       << mean() << "  # " << desc() << "\n";
+    os << std::left << std::setw(48) << (name() + "::count") << " "
+       << count_ << "\n";
+    os << std::left << std::setw(48) << (name() + "::min") << " " << min()
+       << "\n";
+    os << std::left << std::setw(48) << (name() + "::max") << " " << max()
+       << "\n";
+    os << std::left << std::setw(48) << (name() + "::p50") << " " << p50()
+       << "\n";
+    os << std::left << std::setw(48) << (name() + "::p95") << " " << p95()
+       << "\n";
+    os << std::left << std::setw(48) << (name() + "::p99") << " " << p99()
+       << "\n";
+}
+
+void
+Histogram::printJson(std::ostream &os) const
+{
+    os << "{\"count\":" << count_ << ",\"mean\":" << jsonNumber(mean())
+       << ",\"min\":" << jsonNumber(min())
+       << ",\"max\":" << jsonNumber(max())
+       << ",\"p50\":" << jsonNumber(p50())
+       << ",\"p95\":" << jsonNumber(p95())
+       << ",\"p99\":" << jsonNumber(p99()) << ",\"buckets\":[";
+    // Trailing all-zero buckets are elided; the reader reconstructs
+    // edges from the log2 bucket rule.
+    unsigned last = 0;
+    for (unsigned i = 0; i < numBuckets; ++i) {
+        if (buckets_[i] != 0)
+            last = i;
+    }
+    for (unsigned i = 0; i <= last; ++i) {
+        if (i != 0)
+            os << ",";
+        os << buckets_[i];
+    }
+    os << "]}";
+}
+
+void
+Histogram::reset()
+{
+    buckets_.fill(0);
     count_ = 0;
     sum_ = 0;
     min_ = 0;
@@ -58,42 +284,55 @@ Formula::print(std::ostream &os) const
        << desc() << "\n";
 }
 
+void
+Formula::printJson(std::ostream &os) const
+{
+    os << jsonNumber(value());
+}
+
+template <typename T>
+T &
+StatGroup::adopt(std::unique_ptr<T> stat)
+{
+    T &ref = *stat;
+    byName_.emplace(stat->name(), stat.get());
+    stats_.push_back(std::move(stat));
+    return ref;
+}
+
 Scalar &
 StatGroup::scalar(const std::string &name, const std::string &desc)
 {
-    auto stat = std::make_unique<Scalar>(prefix_ + "." + name, desc);
-    Scalar &ref = *stat;
-    stats_.push_back(std::move(stat));
-    return ref;
+    return adopt(std::make_unique<Scalar>(prefix_ + "." + name, desc));
 }
 
 Distribution &
 StatGroup::distribution(const std::string &name, const std::string &desc)
 {
-    auto stat = std::make_unique<Distribution>(prefix_ + "." + name, desc);
-    Distribution &ref = *stat;
-    stats_.push_back(std::move(stat));
-    return ref;
+    return adopt(
+        std::make_unique<Distribution>(prefix_ + "." + name, desc));
+}
+
+Histogram &
+StatGroup::histogram(const std::string &name, const std::string &desc)
+{
+    return adopt(std::make_unique<Histogram>(prefix_ + "." + name, desc));
 }
 
 Formula &
 StatGroup::formula(const std::string &name, const std::string &desc,
                    std::function<double()> fn)
 {
-    auto stat = std::make_unique<Formula>(prefix_ + "." + name, desc,
-                                          std::move(fn));
-    Formula &ref = *stat;
-    stats_.push_back(std::move(stat));
-    return ref;
+    return adopt(std::make_unique<Formula>(prefix_ + "." + name, desc,
+                                           std::move(fn)));
 }
 
 const Stat *
 StatGroup::find(const std::string &full_name) const
 {
-    for (const auto &s : stats_) {
-        if (s->name() == full_name)
-            return s.get();
-    }
+    auto it = byName_.find(full_name);
+    if (it != byName_.end())
+        return it->second;
     for (const StatGroup *child : children_) {
         if (const Stat *s = child->find(full_name))
             return s;
@@ -108,6 +347,29 @@ StatGroup::print(std::ostream &os) const
         s->print(os);
     for (const StatGroup *child : children_)
         child->print(os);
+}
+
+void
+StatGroup::printJson(std::ostream &os) const
+{
+    bool first = true;
+    os << "{";
+    printJsonInto(os, first);
+    os << "}";
+}
+
+void
+StatGroup::printJsonInto(std::ostream &os, bool &first) const
+{
+    for (const auto &s : stats_) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << jsonQuote(s->name()) << ":";
+        s->printJson(os);
+    }
+    for (const StatGroup *child : children_)
+        child->printJsonInto(os, first);
 }
 
 void

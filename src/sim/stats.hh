@@ -2,25 +2,37 @@
  * @file
  * A small statistics framework in the spirit of gem5's stats package.
  *
- * Components own Scalar / Average / Distribution / Formula statistics,
- * register them with a StatGroup, and a whole system's stats can be
- * dumped as text or harvested programmatically by the benchmark
- * harnesses.
+ * Components own Scalar / Average / Distribution / Histogram / Formula
+ * statistics, register them with a StatGroup, and a whole system's
+ * stats can be dumped as text or JSON, or harvested programmatically
+ * by the benchmark harnesses.
  */
 
 #ifndef BCTRL_SIM_STATS_HH
 #define BCTRL_SIM_STATS_HH
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
 #include <ostream>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace bctrl {
 namespace stats {
+
+/**
+ * Locale-independent JSON number rendering (shortest round-trip, '.'
+ * separator whatever LC_NUMERIC says; non-finite values degrade to
+ * "0", which JSON cannot represent).
+ */
+std::string jsonNumber(double v);
+
+/** Quote and escape @p s as a JSON string (including the quotes). */
+std::string jsonQuote(const std::string &s);
 
 /** Base class for all statistics. */
 class Stat
@@ -36,6 +48,9 @@ class Stat
 
     /** Render this stat's value(s) to @p os, one line per value. */
     virtual void print(std::ostream &os) const = 0;
+
+    /** Render this stat's value(s) as a JSON value (no name, no key). */
+    virtual void printJson(std::ostream &os) const = 0;
 
     /** Reset to the just-constructed state. */
     virtual void reset() = 0;
@@ -58,13 +73,14 @@ class Scalar : public Stat
     double value() const { return value_; }
 
     void print(std::ostream &os) const override;
+    void printJson(std::ostream &os) const override;
     void reset() override { value_ = 0; }
 
   private:
     double value_ = 0;
 };
 
-/** Mean / count / min / max of a stream of samples. */
+/** Mean / count / min / max / stddev of a stream of samples. */
 class Distribution : public Stat
 {
   public:
@@ -77,11 +93,76 @@ class Distribution : public Stat
     double min() const { return count_ ? min_ : 0.0; }
     double max() const { return count_ ? max_ : 0.0; }
     double sum() const { return sum_; }
+    /** Population standard deviation (0 with fewer than 2 samples). */
+    double stdev() const;
 
     void print(std::ostream &os) const override;
+    void printJson(std::ostream &os) const override;
     void reset() override;
 
   private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0;
+    /** Welford running mean / sum of squared deviations (for stdev). */
+    double mean_ = 0;
+    double m2_ = 0;
+    double min_ = 0;
+    double max_ = 0;
+};
+
+/**
+ * A log₂-bucketed histogram for latency- and occupancy-style samples.
+ *
+ * Bucket 0 holds samples in [0, 1) (negative samples clamp to it);
+ * bucket i ≥ 1 holds [2^(i-1), 2^i). 65 buckets cover the full Tick
+ * range, so sampling never saturates. Percentiles are estimated by a
+ * cumulative walk with linear interpolation inside the landing bucket,
+ * clamped to the observed [min, max] — a constant stream therefore
+ * reports that constant for every percentile, and any percentile is
+ * exact to within its bucket's width.
+ */
+class Histogram : public Stat
+{
+  public:
+    using Stat::Stat;
+
+    static constexpr unsigned numBuckets = 65;
+
+    /** Bucket index @p v lands in (static so tests can pin edges). */
+    static unsigned bucketOf(double v);
+    /** Inclusive lower edge of bucket @p i. */
+    static double bucketLow(unsigned i);
+    /** Exclusive upper edge of bucket @p i. */
+    static double bucketHigh(unsigned i);
+
+    void sample(double v, std::uint64_t count = 1);
+
+    std::uint64_t count() const { return count_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    double sum() const { return sum_; }
+
+    /**
+     * Estimated value at fraction @p p (0 < p <= 1) of the sample
+     * distribution; 0 when empty.
+     */
+    double percentile(double p) const;
+    double p50() const { return percentile(0.50); }
+    double p95() const { return percentile(0.95); }
+    double p99() const { return percentile(0.99); }
+
+    const std::array<std::uint64_t, numBuckets> &buckets() const
+    {
+        return buckets_;
+    }
+
+    void print(std::ostream &os) const override;
+    void printJson(std::ostream &os) const override;
+    void reset() override;
+
+  private:
+    std::array<std::uint64_t, numBuckets> buckets_{};
     std::uint64_t count_ = 0;
     double sum_ = 0;
     double min_ = 0;
@@ -100,6 +181,13 @@ class Formula : public Stat
     double value() const { return fn_(); }
 
     void print(std::ostream &os) const override;
+    void printJson(std::ostream &os) const override;
+
+    /**
+     * Intentionally empty: a Formula is a stateless view over other
+     * stats, so resetting the group resets its inputs and the formula's
+     * value follows. There is nothing here to clear.
+     */
     void reset() override {}
 
   private:
@@ -123,6 +211,9 @@ class StatGroup
     /** Create and register a Distribution. */
     Distribution &distribution(const std::string &name,
                                const std::string &desc);
+    /** Create and register a Histogram. */
+    Histogram &histogram(const std::string &name,
+                         const std::string &desc);
     /** Create and register a Formula. */
     Formula &formula(const std::string &name, const std::string &desc,
                      std::function<double()> fn);
@@ -136,14 +227,33 @@ class StatGroup
     /** Print this group's and all children's stats. */
     void print(std::ostream &os) const;
 
+    /**
+     * Render this group (and children) as one flat JSON object keyed
+     * by fully qualified stat name.
+     */
+    void printJson(std::ostream &os) const;
+
+    /**
+     * Emit only the "name": value members (no surrounding braces), so
+     * several root groups can merge into one object. @p first tracks
+     * comma placement across calls and must start true.
+     */
+    void printJsonInto(std::ostream &os, bool &first) const;
+
     /** Reset this group's and all children's stats. */
     void reset();
 
     const std::string &prefix() const { return prefix_; }
 
   private:
+    /** Take ownership of @p stat and index it by full name. */
+    template <typename T>
+    T &adopt(std::unique_ptr<T> stat);
+
     std::string prefix_;
     std::vector<std::unique_ptr<Stat>> stats_;
+    /** Name index so find() is O(1) per group instead of a scan. */
+    std::unordered_map<std::string, const Stat *> byName_;
     std::vector<StatGroup *> children_;
 };
 

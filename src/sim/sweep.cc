@@ -22,7 +22,7 @@ SweepEngine::effectiveJobs() const
 
 SweepOutcome
 SweepEngine::runPoint(const SweepPoint &point, std::size_t index,
-                      bool capture_stats)
+                      bool capture_stats, bool capture_stats_json)
 {
     SweepOutcome out;
     out.index = index;
@@ -39,6 +39,32 @@ SweepEngine::runPoint(const SweepPoint &point, std::size_t index,
         std::ostringstream os;
         sys.dumpStats(os);
         out.statsDump = os.str();
+    }
+    if (capture_stats_json) {
+        std::ostringstream os;
+        sys.dumpStatsJson(os);
+        out.statsJson = os.str();
+    }
+    if (trace::Tracer *tracer = sys.tracer()) {
+        // One Chrome-trace process per run: pid = index + 1, named so
+        // Perfetto shows which point each lane set belongs to.
+        std::ostringstream os;
+        const std::string process_name =
+            point.workload + " " +
+            safetyModelName(point.config.safety) + " " +
+            gpuProfileName(point.config.profile);
+        tracer->writeChromeTraceEvents(
+            os, static_cast<int>(index) + 1, process_name);
+        out.traceJson = os.str();
+    }
+    if (HostProfiler *prof = sys.hostProfiler()) {
+        out.profileSeconds.reserve(HostProfiler::numSlots);
+        out.profileCalls.reserve(HostProfiler::numSlots);
+        for (std::size_t s = 0; s < HostProfiler::numSlots; ++s) {
+            const auto slot = static_cast<HostProfiler::Slot>(s);
+            out.profileSeconds.push_back(prof->seconds(slot));
+            out.profileCalls.push_back(prof->calls(slot));
+        }
     }
 
     const std::chrono::duration<double> host_elapsed =
@@ -66,7 +92,8 @@ SweepEngine::run(const std::vector<SweepPoint> &points)
         // is usable even where std::thread is unavailable or under
         // close instrumentation.
         for (std::size_t i = 0; i < points.size(); ++i)
-            outcomes[i] = runPoint(points[i], i, options_.captureStats);
+            outcomes[i] = runPoint(points[i], i, options_.captureStats,
+                                   options_.captureStatsJson);
         return outcomes;
     }
 
@@ -75,13 +102,14 @@ SweepEngine::run(const std::vector<SweepPoint> &points)
     // only shared mutable state is the counter itself.
     std::atomic<std::size_t> next{0};
     const bool capture = options_.captureStats;
-    auto worker = [&points, &outcomes, &next, capture]() {
+    const bool capture_json = options_.captureStatsJson;
+    auto worker = [&points, &outcomes, &next, capture, capture_json]() {
         for (;;) {
             const std::size_t i =
                 next.fetch_add(1, std::memory_order_relaxed);
             if (i >= points.size())
                 return;
-            outcomes[i] = runPoint(points[i], i, capture);
+            outcomes[i] = runPoint(points[i], i, capture, capture_json);
         }
     };
 

@@ -57,6 +57,20 @@ struct SweepOutcome {
     double hostEventsPerSec = 0;
     /** Full per-component stats dump (only with captureStats). */
     std::string statsDump;
+    /** Flat JSON stats object (only with captureStatsJson). */
+    std::string statsJson;
+    /**
+     * Chrome-trace event fragment for this run (only when the point's
+     * config has a nonzero traceMask): the comma-separated event
+     * objects with pid = index + 1, ready to merge into one document.
+     */
+    std::string traceJson;
+    /**
+     * Host profile (only when the point's config enables hostProfile):
+     * wall seconds and call counts indexed by HostProfiler::Slot.
+     */
+    std::vector<double> profileSeconds;
+    std::vector<std::uint64_t> profileCalls;
 };
 
 struct SweepOptions {
@@ -64,6 +78,8 @@ struct SweepOptions {
     unsigned jobs = 0;
     /** Capture each run's System::dumpStats() into the outcome. */
     bool captureStats = false;
+    /** Capture each run's System::dumpStatsJson() into the outcome. */
+    bool captureStatsJson = false;
 };
 
 class SweepEngine
@@ -81,7 +97,8 @@ class SweepEngine
 
     /** Simulate a single point (used by both serial and pool paths). */
     static SweepOutcome runPoint(const SweepPoint &point,
-                                 std::size_t index, bool capture_stats);
+                                 std::size_t index, bool capture_stats,
+                                 bool capture_stats_json = false);
 
     /** The worker count this engine resolves to. */
     unsigned effectiveJobs() const;

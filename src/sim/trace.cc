@@ -1,0 +1,173 @@
+#include "sim/trace.hh"
+
+#include <iomanip>
+#include <map>
+#include <sstream>
+
+#include "sim/stats.hh"
+
+namespace bctrl {
+namespace trace {
+
+namespace {
+
+struct FlagName {
+    Flag flag;
+    const char *name;
+};
+
+constexpr FlagName kFlagNames[] = {
+    {Flag::BCC, "BCC"},
+    {Flag::ProtTable, "ProtTable"},
+    {Flag::Coherence, "Coherence"},
+    {Flag::TLB, "TLB"},
+    {Flag::DRAM, "DRAM"},
+    {Flag::Cache, "Cache"},
+    {Flag::PacketLife, "PacketLife"},
+};
+
+std::string
+hexAddr(Addr addr)
+{
+    std::ostringstream os;
+    os << "0x" << std::hex << addr;
+    return os.str();
+}
+
+} // namespace
+
+const char *
+flagName(Flag flag)
+{
+    for (const FlagName &fn : kFlagNames) {
+        if (fn.flag == flag)
+            return fn.name;
+    }
+    return "unknown";
+}
+
+bool
+parseFlags(const std::string &list, std::uint32_t &mask, std::string *err)
+{
+    mask = 0;
+    std::size_t pos = 0;
+    while (pos <= list.size()) {
+        std::size_t comma = list.find(',', pos);
+        if (comma == std::string::npos)
+            comma = list.size();
+        std::string token = list.substr(pos, comma - pos);
+        pos = comma + 1;
+        // Trim surrounding whitespace so "BCC, TLB" parses.
+        const std::size_t b = token.find_first_not_of(" \t");
+        if (b == std::string::npos)
+            continue;
+        const std::size_t e = token.find_last_not_of(" \t");
+        token = token.substr(b, e - b + 1);
+        if (token == "all") {
+            mask |= allFlags;
+            continue;
+        }
+        bool found = false;
+        for (const FlagName &fn : kFlagNames) {
+            if (token == fn.name) {
+                mask |= static_cast<std::uint32_t>(fn.flag);
+                found = true;
+                break;
+            }
+        }
+        if (!found) {
+            if (err != nullptr) {
+                std::string known = "all";
+                for (const FlagName &fn : kFlagNames) {
+                    known += ", ";
+                    known += fn.name;
+                }
+                *err = "unknown trace flag '" + token +
+                       "' (known: " + known + ")";
+            }
+            return false;
+        }
+    }
+    return true;
+}
+
+void
+Tracer::writeText(std::ostream &os) const
+{
+    for (const Record &r : records_) {
+        os << std::setw(14) << r.start << ": " << flagName(r.flag) << " "
+           << r.component << " " << r.event;
+        if (r.duration != 0)
+            os << " dur=" << r.duration;
+        if (r.packetId != 0)
+            os << " pkt=" << r.packetId;
+        if (r.addr != 0)
+            os << " addr=" << hexAddr(r.addr);
+        os << "\n";
+    }
+}
+
+void
+Tracer::writeChromeTrace(std::ostream &os, int pid,
+                         const std::string &process_name) const
+{
+    os << "{\"traceEvents\":[";
+    writeChromeTraceEvents(os, pid, process_name);
+    os << "]}\n";
+}
+
+void
+Tracer::writeChromeTraceEvents(std::ostream &os, int pid,
+                               const std::string &process_name) const
+{
+    using stats::jsonNumber;
+    using stats::jsonQuote;
+
+    // One Chrome-trace thread per emitting component, numbered in
+    // first-appearance order so related lanes sit together.
+    std::map<std::string, int> tids;
+    for (const Record &r : records_) {
+        const int next = static_cast<int>(tids.size()) + 1;
+        tids.emplace(r.component, next);
+    }
+
+    os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+       << ",\"tid\":0,\"args\":{\"name\":" << jsonQuote(process_name)
+       << "}}";
+    for (const auto &[component, tid] : tids) {
+        os << ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << pid
+           << ",\"tid\":" << tid
+           << ",\"args\":{\"name\":" << jsonQuote(component) << "}}";
+    }
+
+    for (const Record &r : records_) {
+        const int tid = tids[r.component];
+        // Ticks are picoseconds; Chrome-trace timestamps microseconds.
+        const double ts = static_cast<double>(r.start) * 1e-6;
+        os << ",{\"name\":" << jsonQuote(r.event)
+           << ",\"cat\":" << jsonQuote(flagName(r.flag))
+           << ",\"pid\":" << pid << ",\"tid\":" << tid
+           << ",\"ts\":" << jsonNumber(ts);
+        if (r.duration != 0) {
+            const double dur = static_cast<double>(r.duration) * 1e-6;
+            os << ",\"ph\":\"X\",\"dur\":" << jsonNumber(dur);
+        } else {
+            os << ",\"ph\":\"i\",\"s\":\"t\"";
+        }
+        os << ",\"args\":{";
+        bool first = true;
+        if (r.packetId != 0) {
+            os << "\"packet\":" << r.packetId;
+            first = false;
+        }
+        if (r.addr != 0) {
+            if (!first)
+                os << ",";
+            os << "\"addr\":" << jsonQuote(hexAddr(r.addr));
+        }
+        os << "}}";
+    }
+}
+
+} // namespace trace
+} // namespace bctrl

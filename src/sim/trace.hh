@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Runtime-gated request-lifecycle tracing, in the gem5 DPRINTF spirit.
+ *
+ * Components emit timestamped records under a per-component trace flag
+ * (BCC, ProtTable, Coherence, TLB, DRAM, Cache, PacketLife); records
+ * carry the packet's pool-assigned trace id so one request's
+ * L1→L2→BC→BCC/PT→DRAM journey can be correlated across components.
+ * The sink renders either human-readable text or Chrome-trace JSON
+ * (the `{"traceEvents": [...]}` format Perfetto and chrome://tracing
+ * load directly).
+ *
+ * Cost model: tracing is always compiled in but runtime-off by
+ * default. The off path is a single branch — the EventQueue holds a
+ * Tracer pointer that is null unless the System was configured with a
+ * nonzero traceMask, and trace::emit() returns immediately on null.
+ * Recording never mutates simulated state, so enabling tracing is
+ * bit-identical on every RunResult (enforced by the TraceOverhead
+ * tests and the perf_trace_overhead ctest).
+ */
+
+#ifndef BCTRL_SIM_TRACE_HH
+#define BCTRL_SIM_TRACE_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+namespace bctrl {
+namespace trace {
+
+/** One bit per traceable subsystem; a Tracer's mask selects a set. */
+enum class Flag : std::uint32_t {
+    BCC = 1u << 0,        ///< Border Control Cache hits/misses/denials
+    ProtTable = 1u << 1,  ///< Protection Table walks, inserts, downgrades
+    Coherence = 1u << 2,  ///< coherence-point requests and recalls
+    TLB = 1u << 3,        ///< TLB hits and misses
+    DRAM = 1u << 4,       ///< DRAM channel occupancy
+    Cache = 1u << 5,      ///< cache hits, misses, and fills
+    PacketLife = 1u << 6, ///< packet issue/retire lifecycle markers
+};
+
+constexpr std::uint32_t allFlags = (1u << 7) - 1;
+
+/** Short stable name of one flag ("BCC", "ProtTable", ...). */
+const char *flagName(Flag flag);
+
+/**
+ * Parse a comma-separated flag list ("BCC,ProtTable" or "all") into a
+ * mask. @return false (and an explanation in @p err, if non-null) on
+ * an unknown flag name.
+ */
+bool parseFlags(const std::string &list, std::uint32_t &mask,
+                std::string *err = nullptr);
+
+/**
+ * One trace record. The component and event strings are borrowed, not
+ * owned: `component` is a SimObject's name().c_str() (stable for the
+ * System's lifetime) and `event` is a string literal. Records must
+ * therefore be written out before the System that produced them is
+ * destroyed.
+ */
+struct Record {
+    Tick start = 0;      ///< tick the traced action began
+    Tick duration = 0;   ///< ticks it spans (0 = instantaneous marker)
+    Flag flag{};         ///< the flag it was recorded under
+    const char *component = nullptr; ///< emitting SimObject's name
+    const char *event = nullptr;     ///< event label (string literal)
+    std::uint64_t packetId = 0;      ///< pool trace id; 0 = no packet
+    Addr addr = 0;                   ///< address involved, if any
+};
+
+/**
+ * The per-System trace sink. Owned by the System; components reach it
+ * through the EventQueue's tracer pointer (null when tracing is off).
+ */
+class Tracer
+{
+  public:
+    explicit Tracer(std::uint32_t mask) : mask_(mask)
+    {
+        records_.reserve(initialCapacity);
+    }
+
+    Tracer(const Tracer &) = delete;
+    Tracer &operator=(const Tracer &) = delete;
+
+    std::uint32_t mask() const { return mask_; }
+
+    bool
+    enabled(Flag flag) const
+    {
+        return (mask_ & static_cast<std::uint32_t>(flag)) != 0;
+    }
+
+    /** Append a record if @p flag is enabled in the mask. */
+    void
+    record(Flag flag, const char *component, const char *event,
+           Tick start, Tick duration = 0, std::uint64_t packet_id = 0,
+           Addr addr = 0)
+    {
+        if (!enabled(flag))
+            return;
+        records_.push_back(Record{start, duration, flag, component,
+                                  event, packet_id, addr});
+    }
+
+    const std::vector<Record> &records() const { return records_; }
+    std::size_t size() const { return records_.size(); }
+    void clear() { records_.clear(); }
+
+    /** One line per record, for eyeballing and text diffing. */
+    void writeText(std::ostream &os) const;
+
+    /**
+     * A complete Chrome-trace document: {"traceEvents": [...]}. Loads
+     * in Perfetto (ui.perfetto.dev) and chrome://tracing. Ticks are
+     * picoseconds; trace timestamps are microseconds.
+     */
+    void writeChromeTrace(std::ostream &os, int pid = 1,
+                          const std::string &process_name = "bctrl") const;
+
+    /**
+     * Only the comma-separated event objects (no surrounding
+     * brackets), so a multi-run driver can merge several runs into one
+     * document with a distinct pid per run. Always emits at least the
+     * process_name metadata event, so the fragment is never empty.
+     */
+    void writeChromeTraceEvents(std::ostream &os, int pid,
+                                const std::string &process_name) const;
+
+  private:
+    static constexpr std::size_t initialCapacity = 1024;
+
+    std::uint32_t mask_;
+    std::vector<Record> records_;
+};
+
+/**
+ * Component-side emit helper. The off path — no tracer configured —
+ * costs exactly one pointer load and branch; the mask test only runs
+ * once a tracer exists.
+ */
+inline void
+emit(EventQueue &eq, Flag flag, const char *component, const char *event,
+     Tick start, Tick duration = 0, std::uint64_t packet_id = 0,
+     Addr addr = 0)
+{
+    Tracer *tracer = eq.tracer();
+    if (tracer == nullptr)
+        return;
+    tracer->record(flag, component, event, start, duration, packet_id,
+                   addr);
+}
+
+} // namespace trace
+} // namespace bctrl
+
+#endif // BCTRL_SIM_TRACE_HH

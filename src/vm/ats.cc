@@ -5,6 +5,7 @@
 
 #include "bc/border_control.hh"
 #include "os/kernel.hh"
+#include "sim/host_profiler.hh"
 #include "sim/logging.hh"
 
 namespace bctrl {
@@ -75,6 +76,9 @@ Ats::fail(Callback cb, Tick when)
 void
 Ats::translate(Asid asid, Addr vaddr, bool need_write, Callback cb)
 {
+    HostProfiler::Scope profile(eventQueue().profiler(),
+                                HostProfiler::Slot::ats);
+
     ++translations_;
     const Tick start = acquireSlot();
     const Tick lookup_done =

@@ -1,6 +1,7 @@
 #include "vm/tlb.hh"
 
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace bctrl {
 
@@ -55,6 +56,9 @@ Tlb::lookup(Asid asid, Addr vpn)
             if (covers(slot, asid, vpn)) {
                 slot.lastUse = ++useCounter_;
                 ++hits_;
+                trace::emit(eventQueue(), trace::Flag::TLB,
+                            name().c_str(), "hit", curTick(), 0, 0,
+                            vpn * pageSize);
                 return slot.entry;
             }
         }
@@ -62,6 +66,8 @@ Tlb::lookup(Asid asid, Addr vpn)
             break; // both probes identical when vpn is already aligned
     }
     ++misses_;
+    trace::emit(eventQueue(), trace::Flag::TLB, name().c_str(), "miss",
+                curTick(), 0, 0, vpn * pageSize);
     return std::nullopt;
 }
 

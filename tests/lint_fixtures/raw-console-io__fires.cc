@@ -1,0 +1,20 @@
+// bclint fixture: library code writing straight to the process
+// console — under a parallel sweep every System shares one stdout, so
+// output interleaves and tests cannot capture it.
+
+#include <cstdio>
+#include <iostream>
+
+namespace bctrl {
+
+void
+chattyComponent(int misses)
+{
+    std::printf("misses: %d\n", misses);
+    std::fprintf(stderr, "warning: %d misses\n", misses);
+    std::cout << "misses: " << misses << "\n";
+    std::cerr << "warning\n";
+    std::puts("done");
+}
+
+} // namespace bctrl

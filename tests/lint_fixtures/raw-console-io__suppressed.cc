@@ -1,0 +1,20 @@
+// bclint fixture: sanctioned console I/O (an explicitly allowed
+// diagnostic) plus the string-formatting calls the rule must NOT
+// match: snprintf/sprintf format into buffers, not onto the console,
+// and an ostream parameter lets the caller choose the sink.
+
+#include <cstdio>
+#include <ostream>
+
+namespace bctrl {
+
+void
+quietComponent(std::ostream &os, int misses)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "misses: %d", misses);
+    os << buf << "\n";
+    std::printf("%s\n", buf); // bclint:allow(raw-console-io)
+}
+
+} // namespace bctrl

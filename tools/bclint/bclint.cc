@@ -22,6 +22,8 @@
  *                       the mem/addr.hh helpers
  *   raw-packet-alloc    no direct Packet minting outside the pool
  *                       factory; go through allocPacket()
+ *   raw-console-io      no printf/std::cout/std::cerr in src/; route
+ *                       through sim/logging.hh (or take an ostream)
  *
  * Suppression: `// bclint:allow(rule-id[, rule-id...])` on the finding
  * line or the line above it; `// bclint:allow-file(rule-id)` anywhere
@@ -103,6 +105,10 @@ const RuleInfo kRules[] = {
      "no make_shared<Packet>/new Packet/Packet::make outside the "
      "packet pool factory; mint through allocPacket() so steady-state "
      "traffic reuses pooled packets"},
+    {"raw-console-io",
+     "no printf-family or std::cout/cerr/clog in src/: the library "
+     "runs under parallel sweeps and tests; use sim/logging.hh or "
+     "write to a caller-supplied std::ostream"},
 };
 
 bool
@@ -305,6 +311,11 @@ patternRules()
             "direct Packet minting bypasses the pool; use "
             "allocPacket(pool, ...) (or PacketPool::make) so "
             "steady-state traffic stays allocation-free");
+        add("raw-console-io",
+            R"(\b(printf|fprintf|vprintf|vfprintf|puts|fputs|putchar)\s*\(|\bstd\s*::\s*(cout|cerr|clog)\b)",
+            "raw console I/O in library code; use warn()/inform()/"
+            "panic() from sim/logging.hh, or take an std::ostream "
+            "parameter so callers choose the sink");
         return r;
     }();
     return rules;
@@ -334,6 +345,16 @@ ruleAppliesToPath(const SourceFile &sf, const std::string &rule)
     }
     if (rule == "namespace-bctrl")
         return startsWith(sf.relPath, "src/");
+    if (rule == "raw-console-io") {
+        // Library code must not write to the process console: many
+        // Systems share one process under the sweep engine. The logging
+        // layer and the contract-failure reporter are the sanctioned
+        // sinks; drivers/tests/benches own their stdout.
+        return startsWith(sf.relPath, "src/") &&
+               sf.relPath != "src/sim/logging.hh" &&
+               sf.relPath != "src/sim/logging.cc" &&
+               sf.relPath != "src/sim/contracts.cc";
+    }
     if (rule == "mutable-global-state") {
         // The simulation library must tolerate concurrent Systems
         // (sweep engine); drivers and tests own their process.

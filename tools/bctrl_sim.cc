@@ -18,8 +18,11 @@
 #include <iostream>
 #include <string>
 
+#include <fstream>
+
 #include "config/system_builder.hh"
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 using namespace bctrl;
 
@@ -43,6 +46,14 @@ usage(const char *prog)
         "  --bcc-pages N       BCC pages per entry (default: 512)\n"
         "  --mem-gb N          physical memory in GB (default: 3)\n"
         "  --stats             dump every component's statistics\n"
+        "  --stats-json FILE   write every component's statistics as "
+        "JSON\n"
+        "  --trace FLAGS       enable tracing: comma-separated of BCC,\n"
+        "                      ProtTable, Coherence, TLB, DRAM, Cache,\n"
+        "                      PacketLife, or all\n"
+        "  --trace-out FILE    Chrome-trace output (default: "
+        "trace.json)\n"
+        "  --trace-text        write the trace as text, not JSON\n"
         "  --verbose           enable warn/inform output\n"
         "  --list              list available workloads and exit\n"
         "  --help              this text\n",
@@ -75,6 +86,10 @@ main(int argc, char **argv)
     SystemConfig cfg;
     std::string workload = "pathfinder";
     bool dump_stats = false;
+    std::string stats_json_path;
+    std::string trace_flags;
+    std::string trace_out = "trace.json";
+    bool trace_text = false;
     setLogVerbose(false);
 
     for (int i = 1; i < argc; ++i) {
@@ -124,6 +139,14 @@ main(int argc, char **argv)
                 std::strtoull(next(), nullptr, 0) * (1ULL << 30);
         } else if (arg == "--stats") {
             dump_stats = true;
+        } else if (arg == "--stats-json") {
+            stats_json_path = next();
+        } else if (arg == "--trace") {
+            trace_flags = next();
+        } else if (arg == "--trace-out") {
+            trace_out = next();
+        } else if (arg == "--trace-text") {
+            trace_text = true;
         } else if (arg == "--verbose") {
             setLogVerbose(true);
         } else if (arg == "--list") {
@@ -138,6 +161,14 @@ main(int argc, char **argv)
         } else {
             std::fprintf(stderr, "unknown option %s\n", arg.c_str());
             usage(argv[0]);
+            return 2;
+        }
+    }
+
+    if (!trace_flags.empty()) {
+        std::string err;
+        if (!trace::parseFlags(trace_flags, cfg.traceMask, &err)) {
+            std::fprintf(stderr, "%s\n", err.c_str());
             return 2;
         }
     }
@@ -184,6 +215,34 @@ main(int argc, char **argv)
     if (dump_stats) {
         std::printf("\n=== component statistics ===\n");
         system.dumpStats(std::cout);
+    }
+    if (!stats_json_path.empty()) {
+        std::ofstream os(stats_json_path);
+        if (!os) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         stats_json_path.c_str());
+            return 1;
+        }
+        system.dumpStatsJson(os);
+        os << "\n";
+        std::fprintf(stderr, "wrote %s\n", stats_json_path.c_str());
+    }
+    if (trace::Tracer *tracer = system.tracer()) {
+        std::ofstream os(trace_out);
+        if (!os) {
+            std::fprintf(stderr, "cannot write %s\n", trace_out.c_str());
+            return 1;
+        }
+        if (trace_text) {
+            tracer->writeText(os);
+        } else {
+            tracer->writeChromeTrace(
+                os, 1,
+                workload + " " + safetyModelName(cfg.safety) + " " +
+                    gpuProfileName(cfg.profile));
+        }
+        std::fprintf(stderr, "wrote %s (%zu records)\n",
+                     trace_out.c_str(), tracer->size());
     }
     return 0;
 }

@@ -14,6 +14,8 @@
  *   bctrl_sweep --jobs 4 --compare-serial      # measure the speedup
  *   bctrl_sweep --micro --jobs 2               # quick smoke (CI)
  *   bctrl_sweep --workloads bfs,lud --safety bc-bcc,ats-only
+ *   bctrl_sweep --micro --trace=BCC,ProtTable --trace-out=t.json
+ *   bctrl_sweep --micro --profile --stats-json=stats.json
  */
 
 #include <algorithm>
@@ -25,8 +27,10 @@
 #include <vector>
 
 #include "bench_common.hh"
+#include "sim/host_profiler.hh"
 #include "sim/logging.hh"
 #include "sim/sweep.hh"
+#include "sim/trace.hh"
 
 using namespace bctrl;
 using namespace bctrl::bench;
@@ -100,6 +104,17 @@ usage(const char *prog)
         "speedup\n"
         "  --out FILE         JSON report path (default: "
         "BENCH_sweep.json)\n"
+        "  --trace FLAGS      enable tracing: comma-separated of BCC,\n"
+        "                     ProtTable, Coherence, TLB, DRAM, Cache,\n"
+        "                     PacketLife, or all\n"
+        "  --trace-out FILE   Chrome-trace output (default: "
+        "trace.json);\n"
+        "                     load in ui.perfetto.dev or "
+        "chrome://tracing\n"
+        "  --stats-json FILE  write every run's full stats as JSON\n"
+        "  --profile          attribute host wall time per component\n"
+        "                     (adds a \"profile\" block to the "
+        "report)\n"
         "  --quiet            suppress the per-run progress table\n"
         "  --help             this text\n",
         prog);
@@ -136,12 +151,27 @@ main(int argc, char **argv)
                                         GpuProfile::moderatelyThreaded};
     SystemConfig base;
     std::string out_path = "BENCH_sweep.json";
+    std::string trace_flags;
+    std::string trace_out = "trace.json";
+    std::string stats_json_path;
+    bool profile = false;
     bool compare_serial = false;
     bool quiet = false;
 
     for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        auto next = [&]() -> const char * {
+        std::string arg = argv[i];
+        // The newer options also accept --opt=value in one token.
+        std::string inline_value;
+        bool has_inline_value = false;
+        if (const std::size_t eq = arg.find('=');
+            eq != std::string::npos && arg.rfind("--", 0) == 0) {
+            inline_value = arg.substr(eq + 1);
+            has_inline_value = true;
+            arg = arg.substr(0, eq);
+        }
+        auto next = [&]() -> std::string {
+            if (has_inline_value)
+                return inline_value;
             if (i + 1 >= argc) {
                 std::fprintf(stderr, "%s needs a value\n", arg.c_str());
                 std::exit(2);
@@ -150,7 +180,7 @@ main(int argc, char **argv)
         };
         if (arg == "--jobs") {
             jobs = static_cast<unsigned>(
-                std::strtoul(next(), nullptr, 0));
+                std::strtoul(next().c_str(), nullptr, 0));
         } else if (arg == "--workloads") {
             workloads = splitList(next());
         } else if (arg == "--safety") {
@@ -183,15 +213,24 @@ main(int argc, char **argv)
                 }
             }
         } else if (arg == "--scale") {
-            base.workloadScale = std::strtoull(next(), nullptr, 0);
+            base.workloadScale =
+                std::strtoull(next().c_str(), nullptr, 0);
         } else if (arg == "--seed") {
-            base.seed = std::strtoull(next(), nullptr, 0);
+            base.seed = std::strtoull(next().c_str(), nullptr, 0);
         } else if (arg == "--micro") {
             workloads = {"uniform", "stream", "strided"};
         } else if (arg == "--compare-serial") {
             compare_serial = true;
         } else if (arg == "--out") {
             out_path = next();
+        } else if (arg == "--trace") {
+            trace_flags = next();
+        } else if (arg == "--trace-out") {
+            trace_out = next();
+        } else if (arg == "--stats-json") {
+            stats_json_path = next();
+        } else if (arg == "--profile") {
+            profile = true;
         } else if (arg == "--quiet") {
             quiet = true;
         } else if (arg == "--help" || arg == "-h") {
@@ -210,9 +249,22 @@ main(int argc, char **argv)
         return 2;
     }
 
+    if (!trace_flags.empty()) {
+        std::string err;
+        if (!trace::parseFlags(trace_flags, base.traceMask, &err)) {
+            std::fprintf(stderr, "%s\n", err.c_str());
+            return 2;
+        }
+    }
+    base.hostProfile = profile;
+
     const std::vector<SweepPoint> points =
         matrixPoints(workloads, safeties, profiles, base);
     const unsigned effective_jobs = jobs != 0 ? jobs : sweepJobs();
+
+    SweepOptions sweep_opts;
+    sweep_opts.jobs = effective_jobs;
+    sweep_opts.captureStatsJson = !stats_json_path.empty();
 
     std::fprintf(stderr, "sweep: %zu runs on %u worker(s)\n",
                  points.size(), effective_jobs);
@@ -226,7 +278,7 @@ main(int argc, char **argv)
 
     const auto par_start = now();
     const std::vector<SweepOutcome> outcomes =
-        sweep(points, effective_jobs);
+        runSweep(points, sweep_opts);
     const std::chrono::duration<double> par_elapsed = now() - par_start;
     const Totals par = totalsOf(outcomes, par_elapsed.count());
 
@@ -403,6 +455,47 @@ main(int argc, char **argv)
                 .c_str());
     }
 
+    // Host profile: where the simulator's own CPU time went, summed
+    // across runs. Slot times are inclusive (scopes nest), so they are
+    // read against the eventLoop total, not summed to it.
+    if (profile) {
+        std::fprintf(f, "  \"profile\": {\"slots\": [");
+        for (std::size_t s = 0; s < HostProfiler::numSlots; ++s) {
+            double seconds = 0;
+            std::uint64_t calls = 0;
+            for (const SweepOutcome &o : outcomes) {
+                if (s < o.profileSeconds.size()) {
+                    seconds += o.profileSeconds[s];
+                    calls += o.profileCalls[s];
+                }
+            }
+            std::fprintf(
+                f,
+                "%s\n    {\"name\": \"%s\", \"seconds\": %s, "
+                "\"calls\": %llu}",
+                s == 0 ? "" : ",",
+                HostProfiler::slotName(
+                    static_cast<HostProfiler::Slot>(s)),
+                formatDouble(seconds).c_str(),
+                (unsigned long long)calls);
+        }
+        double loop_seconds = 0;
+        std::uint64_t loop_calls = 0;
+        for (const SweepOutcome &o : outcomes) {
+            if (!o.profileSeconds.empty()) {
+                loop_seconds += o.profileSeconds[0];
+                loop_calls += o.profileCalls[0];
+            }
+        }
+        std::fprintf(
+            f, "\n  ], \"eventsPerSec\": %s},\n",
+            formatDouble(loop_seconds > 0
+                             ? static_cast<double>(loop_calls) /
+                                   loop_seconds
+                             : 0.0)
+                .c_str());
+    }
+
     std::fprintf(
         f,
         "  \"parallel\": {\"hostSeconds\": %s, \"hostEvents\": %llu, "
@@ -425,5 +518,52 @@ main(int argc, char **argv)
     std::fclose(f);
 
     std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+
+    // Merged Chrome-trace document: one process (pid = run index + 1)
+    // per run, ready for ui.perfetto.dev / chrome://tracing.
+    if (base.traceMask != 0) {
+        std::FILE *tf = std::fopen(trace_out.c_str(), "w");
+        if (tf == nullptr) {
+            std::fprintf(stderr, "cannot write %s\n", trace_out.c_str());
+            return 1;
+        }
+        std::fprintf(tf, "{\"traceEvents\":[");
+        bool first = true;
+        for (const SweepOutcome &o : outcomes) {
+            if (o.traceJson.empty())
+                continue;
+            std::fprintf(tf, "%s%s", first ? "" : ",",
+                         o.traceJson.c_str());
+            first = false;
+        }
+        std::fprintf(tf, "]}\n");
+        std::fclose(tf);
+        std::fprintf(stderr, "wrote %s\n", trace_out.c_str());
+    }
+
+    if (!stats_json_path.empty()) {
+        std::FILE *sf = std::fopen(stats_json_path.c_str(), "w");
+        if (sf == nullptr) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         stats_json_path.c_str());
+            return 1;
+        }
+        std::fprintf(sf, "{\n  \"schema\": \"bctrl-stats-v1\",\n"
+                         "  \"runs\": [\n");
+        for (std::size_t i = 0; i < outcomes.size(); ++i) {
+            const SweepOutcome &o = outcomes[i];
+            std::fprintf(
+                sf,
+                "    {\"workload\": \"%s\", \"safety\": \"%s\", "
+                "\"profile\": \"%s\", \"stats\": %s}%s\n",
+                o.workload.c_str(), safetyToken(o.result.safety),
+                profileToken(o.result.profile),
+                o.statsJson.empty() ? "{}" : o.statsJson.c_str(),
+                i + 1 < outcomes.size() ? "," : "");
+        }
+        std::fprintf(sf, "  ]\n}\n");
+        std::fclose(sf);
+        std::fprintf(stderr, "wrote %s\n", stats_json_path.c_str());
+    }
     return 0;
 }
