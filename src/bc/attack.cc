@@ -4,12 +4,43 @@
 
 namespace bctrl {
 
+AttackInjector::AttackInjector(System &system)
+    : system_(system),
+      stats_("system.attack"),
+      injected_(stats_.scalar("injected", "attack requests issued")),
+      blocked_(stats_.scalar("blocked",
+                             "attacks denied by a safety mechanism")),
+      unblocked_(stats_.scalar(
+          "unblocked", "attacks that completed unchecked (unsafe)")),
+      latency_(stats_.histogram(
+          "latency", "injection-to-response time of attacks (ticks)"))
+{
+}
+
+void
+AttackInjector::record(const Outcome &outcome)
+{
+    if (outcome.responded) {
+        latency_.sample(static_cast<double>(outcome.latency));
+        if (outcome.blocked)
+            ++blocked_;
+        else
+            ++unblocked_;
+    } else {
+        // Fire-and-forget paths (e.g. an unacknowledged writeback on
+        // the unsafe baseline) produce no response: the access went
+        // through unchecked.
+        ++unblocked_;
+    }
+}
+
 AttackInjector::Outcome
 AttackInjector::inject(const PacketPtr &pkt, bool via_border)
 {
     Outcome outcome;
     const Tick start = system_.eventQueue().curTick();
     bool done = false;
+    ++injected_;
     pkt->issuedAt = start;
     pkt->onResponse = [&](Packet &p) {
         done = true;
@@ -25,50 +56,110 @@ AttackInjector::inject(const PacketPtr &pkt, bool via_border)
     system_.eventQueue().run();
 
     if (!done) {
-        // Fire-and-forget paths (e.g. an unacknowledged writeback on
-        // the unsafe baseline) produce no response: the access went
-        // through unchecked.
         outcome.responded = false;
         outcome.blocked = false;
     }
+    record(outcome);
     return outcome;
+}
+
+PacketPtr
+AttackInjector::makeAttackPacket(AttackKind kind, Addr addr, Asid asid)
+{
+    switch (kind) {
+      case AttackKind::wildRead:
+        return system_.packetPool().make(MemCmd::Read, addr, 64,
+                                         Requestor::accelerator);
+      case AttackKind::wildWrite:
+        return system_.packetPool().make(MemCmd::Write, addr, 64,
+                                         Requestor::accelerator);
+      case AttackKind::staleWriteback:
+        return system_.packetPool().make(MemCmd::Writeback,
+                                         blockAlign(addr), blockSize,
+                                         Requestor::accelerator);
+      case AttackKind::forgedAsidRead: {
+        auto pkt = system_.packetPool().make(MemCmd::Read, 0, 64,
+                                             Requestor::accelerator,
+                                             asid);
+        pkt->isVirtual = true;
+        pkt->vaddr = addr;
+        return pkt;
+      }
+    }
+    return nullptr;
+}
+
+void
+AttackInjector::scheduleAttackAt(Tick when, AttackKind kind, Addr addr,
+                                 Asid asid)
+{
+    system_.eventQueue().scheduleLambda(
+        [this, kind, addr, asid]() {
+            const Tick start = system_.eventQueue().curTick();
+            ++injected_;
+
+            if (kind == AttackKind::forgedAsidRead &&
+                system_.iommuFrontend() == nullptr) {
+                // No translate-at-border front end: the forgery dies
+                // (or not) at the ATS the way real traffic would.
+                system_.ats().translate(
+                    asid, addr, false,
+                    [this, start](bool ok, const TlbEntry &) {
+                        Outcome outcome;
+                        outcome.responded = true;
+                        outcome.blocked = !ok;
+                        outcome.latency =
+                            system_.eventQueue().curTick() - start;
+                        record(outcome);
+                        asyncOutcomes_.push_back(outcome);
+                    });
+                return;
+            }
+
+            auto pkt = makeAttackPacket(kind, addr, asid);
+            pkt->issuedAt = start;
+            pkt->onResponse = [this, start](Packet &p) {
+                Outcome outcome;
+                outcome.responded = true;
+                outcome.blocked = p.denied;
+                outcome.latency =
+                    system_.eventQueue().curTick() - start;
+                record(outcome);
+                asyncOutcomes_.push_back(outcome);
+            };
+            system_.borderDevice().access(pkt);
+        },
+        when);
 }
 
 AttackInjector::Outcome
 AttackInjector::wildPhysicalRead(Addr paddr)
 {
-    auto pkt = system_.packetPool().make(MemCmd::Read, paddr, 64,
-                                         Requestor::accelerator);
-    return inject(pkt, true);
+    return inject(makeAttackPacket(AttackKind::wildRead, paddr, 0), true);
 }
 
 AttackInjector::Outcome
 AttackInjector::wildPhysicalWrite(Addr paddr)
 {
-    auto pkt = system_.packetPool().make(MemCmd::Write, paddr, 64,
-                                         Requestor::accelerator);
-    return inject(pkt, true);
+    return inject(makeAttackPacket(AttackKind::wildWrite, paddr, 0),
+                  true);
 }
 
 AttackInjector::Outcome
 AttackInjector::staleWriteback(Addr paddr)
 {
-    auto pkt =
-        system_.packetPool().make(MemCmd::Writeback, blockAlign(paddr),
-                                  blockSize, Requestor::accelerator);
-    return inject(pkt, true);
+    return inject(makeAttackPacket(AttackKind::staleWriteback, paddr, 0),
+                  true);
 }
 
 AttackInjector::Outcome
 AttackInjector::forgedAsidRead(Asid asid, Addr vaddr)
 {
-    auto pkt = system_.packetPool().make(MemCmd::Read, 0, 64,
-                                         Requestor::accelerator, asid);
-    pkt->isVirtual = true;
-    pkt->vaddr = vaddr;
-
-    if (system_.iommuFrontend() != nullptr)
-        return inject(pkt, true);
+    if (system_.iommuFrontend() != nullptr) {
+        return inject(
+            makeAttackPacket(AttackKind::forgedAsidRead, vaddr, asid),
+            true);
+    }
 
     // Configurations without a translate-at-border front end route
     // virtual requests through the ATS the way the accelerator would;
@@ -76,6 +167,7 @@ AttackInjector::forgedAsidRead(Asid asid, Addr vaddr)
     Outcome outcome;
     const Tick start = system_.eventQueue().curTick();
     bool done = false;
+    ++injected_;
     system_.ats().translate(asid, vaddr, false,
                             [&](bool ok, const TlbEntry &) {
                                 done = true;
@@ -88,6 +180,7 @@ AttackInjector::forgedAsidRead(Asid asid, Addr vaddr)
     system_.eventQueue().run();
     if (!done)
         outcome.responded = false;
+    record(outcome);
     return outcome;
 }
 

@@ -9,14 +9,32 @@
  * accelerator traffic crosses the trusted border, so the outcome
  * (blocked or not) reflects each safety configuration faithfully —
  * including the unsafe ATS-only baseline, where attacks succeed.
+ *
+ * Two modes: the synchronous methods drive the event queue to
+ * completion on an otherwise idle system (unit tests), while
+ * scheduleAttackAt() arms an attack to fire in the middle of a live
+ * run (chaos campaigns), with the outcome recorded when the response
+ * comes back. Either way every outcome lands in the injector's
+ * "system.attack" stat group, which can be registered with
+ * System::addStatGroup() to appear in the stat dumps.
  */
 
 #ifndef BCTRL_BC_ATTACK_HH
 #define BCTRL_BC_ATTACK_HH
 
+#include <vector>
+
 #include "config/system_builder.hh"
 
 namespace bctrl {
+
+/** The attack repertoire of §2.1. */
+enum class AttackKind {
+    wildRead,       ///< read a physical address the ATS never handed out
+    wildWrite,      ///< write an arbitrary physical address
+    staleWriteback, ///< write back under downgraded permissions
+    forgedAsidRead, ///< virtual read under an ASID not bound to the accel
+};
 
 class AttackInjector
 {
@@ -29,10 +47,12 @@ class AttackInjector
     };
 
     /**
-     * @param system an idle system (no kernel running); the injector
-     *        drives the event queue synchronously.
+     * @param system the system under attack. The synchronous methods
+     *        require an idle system (no kernel running) and drive the
+     *        event queue themselves; scheduleAttackAt() composes with
+     *        a live run.
      */
-    explicit AttackInjector(System &system) : system_(system) {}
+    explicit AttackInjector(System &system);
 
     /** Read an arbitrary physical address the ATS never handed out. */
     Outcome wildPhysicalRead(Addr paddr);
@@ -49,10 +69,53 @@ class AttackInjector
     /** Issue a virtual request under an ASID not bound to the accel. */
     Outcome forgedAsidRead(Asid asid, Addr vaddr);
 
+    /**
+     * Arm @p kind to fire at tick @p when during a live run (the event
+     * queue is NOT driven here). The outcome is recorded in the stat
+     * group and in asyncOutcomes() when (if) the response arrives.
+     */
+    void scheduleAttackAt(Tick when, AttackKind kind, Addr addr,
+                          Asid asid = 0);
+
+    /** Outcomes of responded scheduleAttackAt() attacks, in order. */
+    const std::vector<Outcome> &asyncOutcomes() const
+    {
+        return asyncOutcomes_;
+    }
+
+    /** "system.attack" counters for System::addStatGroup(). */
+    const stats::StatGroup &statGroup() const { return stats_; }
+
+    std::uint64_t injected() const
+    {
+        return static_cast<std::uint64_t>(injected_.value());
+    }
+    std::uint64_t blocked() const
+    {
+        return static_cast<std::uint64_t>(blocked_.value());
+    }
+    std::uint64_t unblocked() const
+    {
+        return static_cast<std::uint64_t>(unblocked_.value());
+    }
+
   private:
     Outcome inject(const PacketPtr &pkt, bool via_border);
 
+    /** Build the packet for @p kind (null for ATS-routed forgeries). */
+    PacketPtr makeAttackPacket(AttackKind kind, Addr addr, Asid asid);
+
+    void record(const Outcome &outcome);
+
     System &system_;
+
+    stats::StatGroup stats_;
+    stats::Scalar &injected_;
+    stats::Scalar &blocked_;
+    stats::Scalar &unblocked_;
+    stats::Histogram &latency_;
+
+    std::vector<Outcome> asyncOutcomes_;
 };
 
 } // namespace bctrl

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/contracts.hh"
+#include "sim/fault.hh"
 #include "sim/host_profiler.hh"
 #include "sim/logging.hh"
 #include "sim/trace.hh"
@@ -128,11 +129,36 @@ BorderControl::evaluate(Addr ppn, Tick &check_done,
             return *hit;
         }
         ++bccMissStat_;
+        // Injection point: the BCC fill from the Protection Table. A
+        // trusted-side structure, so only lossy/timing faults apply
+        // (corrupting the fill would break the BCC⊆PT inclusion
+        // contract the hardware is defined by, not merely perturb it).
+        const fault::Decision fd =
+            fault::decide(eventQueue(), fault::Point::bccFill);
+        if (fd.kind == fault::Kind::drop) {
+            // The fill is lost: answer from the table directly and
+            // leave the BCC cold; the next miss retries the fill.
+            check_done =
+                clockEdge(params_.bccLatency + params_.tableLatency);
+            outcome = CheckOutcome::tableWalk;
+            chargeTableAccess(table_->entryAddr(ppn), bcc_.fillBytes(),
+                              false);
+            return table_->getPerms(ppn);
+        }
         Perms perms = bcc_.fill(ppn, *table_);
         chargeTableAccess(table_->entryAddr(ppn), bcc_.fillBytes(),
                           false);
+        if (fd.kind == fault::Kind::duplicate) {
+            // A second, redundant fill: idempotent on state, but it
+            // costs another table read.
+            bcc_.fill(ppn, *table_);
+            chargeTableAccess(table_->entryAddr(ppn), bcc_.fillBytes(),
+                              false);
+        }
         check_done =
             clockEdge(params_.bccLatency + params_.tableLatency);
+        if (fd.kind == fault::Kind::delay)
+            check_done += fd.delay;
         outcome = CheckOutcome::tableWalk;
         return perms;
     }
@@ -169,6 +195,48 @@ BorderControl::access(const PacketPtr &pkt)
         // crosses unchecked.
         downstream_.access(pkt);
         return;
+    }
+
+    // Injection point: the untrusted request arriving at the border.
+    // Whatever the fault does to it, the surviving copies still go
+    // through the full check below — a perturbed request must never
+    // become an unchecked one.
+    if (fault::FaultEngine *fe = eventQueue().faultEngine()) {
+        const fault::Decision fd =
+            fe->decide(fault::Point::gpuRequest, curTick());
+        switch (fd.kind) {
+          case fault::Kind::drop: {
+            PacketPtr held = pkt;
+            fe->holdDropped("borderControl.gpuRequest", curTick(),
+                            [this, held]() { access(held); });
+            return;
+          }
+          case fault::Kind::delay: {
+            PacketPtr held = pkt;
+            eventQueue().scheduleLambda(
+                [this, held]() { access(held); },
+                curTick() + fd.delay);
+            return;
+          }
+          case fault::Kind::duplicate: {
+            // A fire-and-forget replay of the same request. Checked
+            // like any other arrival; the suppressor keeps the copy
+            // from recursively faulting into a storm.
+            auto dup = allocPacket(pool_, pkt->cmd, pkt->paddr,
+                                   pkt->size, pkt->requestor, pkt->asid);
+            dup->issuedAt = curTick();
+            fault::FaultEngine::Suppressor guard(fe);
+            access(dup);
+            break;
+          }
+          case fault::Kind::stuckAt:
+            // The request bus wedges: this and every later faulted
+            // request carry the first faulted address.
+            fe->stickAddr(fault::Point::gpuRequest, pkt->paddr);
+            break;
+          default:
+            break;
+        }
     }
 
     HostProfiler::Scope profile(eventQueue().profiler(),

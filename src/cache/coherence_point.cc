@@ -1,6 +1,7 @@
 #include "cache/coherence_point.hh"
 
 #include "cache/cache.hh"
+#include "sim/fault.hh"
 #include "sim/host_profiler.hh"
 #include "sim/logging.hh"
 #include "sim/trace.hh"
@@ -83,6 +84,41 @@ CoherencePoint::access(const PacketPtr &pkt)
 {
     HostProfiler::Scope profile(eventQueue().profiler(),
                                 HostProfiler::Slot::coherence);
+
+    // Injection point: a message entering the coherence point. The
+    // surviving copies still run the full state machine below.
+    if (fault::FaultEngine *fe = eventQueue().faultEngine()) {
+        const fault::Decision fd =
+            fe->decide(fault::Point::coherenceMsg, curTick());
+        switch (fd.kind) {
+          case fault::Kind::drop: {
+            PacketPtr held = pkt;
+            fe->holdDropped("coherence.msg", curTick(),
+                            [this, held]() { access(held); });
+            return;
+          }
+          case fault::Kind::delay: {
+            PacketPtr held = pkt;
+            eventQueue().scheduleLambda(
+                [this, held]() { access(held); },
+                curTick() + fd.delay);
+            return;
+          }
+          case fault::Kind::duplicate: {
+            // Replay the message through the state machine; the copy
+            // carries no response callback of its own.
+            auto dup = allocPacket(nullptr, pkt->cmd, pkt->paddr,
+                                   pkt->size, pkt->requestor, pkt->asid);
+            dup->needsWritable = pkt->needsWritable;
+            dup->issuedAt = curTick();
+            fault::FaultEngine::Suppressor guard(fe);
+            access(dup);
+            break;
+          }
+          default:
+            break;
+        }
+    }
 
     ++requests_;
     Tick delay = params_.latency;

@@ -19,6 +19,17 @@ System::System(const SystemConfig &config)
         profiler_ = std::make_unique<HostProfiler>();
         eventQueue_.setProfiler(profiler_.get());
     }
+    if (config_.faultPlan.active()) {
+        faultEngine_ =
+            std::make_unique<fault::FaultEngine>(config_.faultPlan);
+        eventQueue_.setFaultEngine(faultEngine_.get());
+        if (config_.faultPlan.watchdogInterval != 0) {
+            watchdog_ = std::make_unique<fault::Watchdog>(
+                eventQueue_, faultEngine_.get(),
+                config_.faultPlan.watchdogInterval);
+            eventQueue_.setWatchdog(watchdog_.get());
+        }
+    }
 
     store_ = std::make_unique<BackingStore>(config_.physMemBytes);
 
@@ -79,6 +90,8 @@ System::System(const SystemConfig &config)
     kernel_params.shootdownLatency = config_.shootdownLatency;
     kernel_params.pageFaultLatency = config_.pageFaultLatency;
     kernel_params.selectiveFlush = config_.selectiveFlush;
+    kernel_params.killOnViolation = config_.killOnViolation;
+    kernel_params.quarantineOnViolation = config_.quarantineOnViolation;
     kernel_ = std::make_unique<Kernel>(eventQueue_, "system.kernel",
                                        *store_, kernel_params);
 
@@ -237,6 +250,19 @@ System::System(const SystemConfig &config)
         iommuFrontend_->setViolationHandler(
             [this](const Packet &pkt) { kernel_->onViolation(pkt); });
     }
+
+    if (watchdog_) {
+        watchdog_->setOutstandingProbe(
+            [this]() { return gpu_->outstandingMemOps(); });
+        watchdog_->addReporter([this]() {
+            return "packets in flight: " +
+                   std::to_string(packetPool_.inFlight());
+        });
+        watchdog_->addReporter([this]() {
+            return "gpu mem ops outstanding: " +
+                   std::to_string(gpu_->outstandingMemOps());
+        });
+    }
 }
 
 System::~System() = default;
@@ -310,10 +336,34 @@ System::run(Workload &workload, Process &proc)
     gpu_->launch(workload, proc, [&finished]() { finished = true; });
     startDowngradeInjector(proc, &finished);
 
+    if (watchdog_) {
+        watchdog_->setDoneProbe([&finished]() { return finished; });
+        watchdog_->arm();
+    }
     eventQueue_.run();
-    panic_if(!finished, "event queue drained before kernel completion");
+    if (watchdog_)
+        watchdog_->setDoneProbe(nullptr);
 
-    const Tick runtime = gpu_->endTick() - gpu_->startTick();
+    bool hung = false;
+    if (faultEngine_) {
+        hung = watchdog_ != nullptr && watchdog_->hangDetected() &&
+               !finished;
+        // End of chaos: stop injecting, re-deliver everything the
+        // engine held, and let the machine settle so caches, MSHRs,
+        // and the packet pool drain (teardown contracts stay clean on
+        // every chaos run, hung or not).
+        faultEngine_->setEnabled(false);
+        if (watchdog_)
+            watchdog_->disarm();
+        faultEngine_->releaseDropped(eventQueue_);
+        eventQueue_.run();
+    }
+    panic_if(!finished && !hung,
+             "event queue drained before kernel completion");
+
+    const Tick end_tick =
+        finished ? gpu_->endTick() : eventQueue_.curTick();
+    const Tick runtime = end_tick - gpu_->startTick();
     const std::uint64_t mem_ops = gpu_->memOpsIssued() - mem_ops_before;
 
     bool released = false;
@@ -321,12 +371,12 @@ System::run(Workload &workload, Process &proc)
     eventQueue_.run();
     panic_if(!released, "accelerator release did not complete");
 
-    return collect(workload.name(), runtime, mem_ops);
+    return collect(workload.name(), runtime, mem_ops, hung);
 }
 
 RunResult
 System::collect(const std::string &workload_name, Tick runtime,
-                std::uint64_t mem_ops) const
+                std::uint64_t mem_ops, bool hung) const
 {
     RunResult r;
     r.workload = workload_name;
@@ -356,6 +406,17 @@ System::collect(const std::string &workload_name, Tick runtime,
     r.pageWalks = ats_->walks();
     r.dramBytes = dram_->bytesTransferred();
     r.dramUtilization = dram_->utilization();
+
+    r.hung = hung;
+    if (faultEngine_) {
+        r.faultsInjected = faultEngine_->totalInjected();
+        r.dropsReleased = faultEngine_->dropsReleased();
+        r.unsafeWrites = faultEngine_->unsafeWrites();
+        r.atsRetries = ats_->retries();
+        r.shootdownRetries = kernel_->shootdownRetries();
+        r.quarantines = kernel_->quarantines();
+        r.kills = kernel_->kills();
+    }
 
     if (gpu_->l2Cache() != nullptr) {
         r.l2Hits = gpu_->l2Cache()->demandHits();
@@ -393,6 +454,10 @@ System::dumpStats(std::ostream &os) const
     if (iommuFrontend_)
         iommuFrontend_->statGroup().print(os);
     gpu_->statGroup().print(os);
+    if (faultEngine_)
+        faultEngine_->statGroup().print(os);
+    for (const stats::StatGroup *group : extraStats_)
+        group->print(os);
     allocProf_.print(os);
 }
 
@@ -416,6 +481,10 @@ System::dumpStatsJson(std::ostream &os) const
     if (iommuFrontend_)
         iommuFrontend_->statGroup().printJsonInto(os, first);
     gpu_->statGroup().printJsonInto(os, first);
+    if (faultEngine_)
+        faultEngine_->statGroup().printJsonInto(os, first);
+    for (const stats::StatGroup *group : extraStats_)
+        group->printJsonInto(os, first);
     allocProf_.printJsonInto(os, first);
     os << "}";
 }

@@ -24,6 +24,7 @@
 #include "mem/mem_bus.hh"
 #include "mem/packet_pool.hh"
 #include "os/kernel.hh"
+#include "sim/fault.hh"
 #include "sim/host_profiler.hh"
 #include "sim/stats.hh"
 #include "sim/trace.hh"
@@ -80,7 +81,21 @@ class System
     trace::Tracer *tracer() { return tracer_.get(); }
     /** Null unless the config enabled host profiling. */
     HostProfiler *hostProfiler() { return profiler_.get(); }
+    /** Null unless the config's faultPlan is active. */
+    fault::FaultEngine *faultEngine() { return faultEngine_.get(); }
+    /** Null unless the faultPlan asked for a watchdog. */
+    fault::Watchdog *watchdog() { return watchdog_.get(); }
     /// @}
+
+    /**
+     * Register an externally owned stat group (e.g. an AttackInjector's
+     * outcomes) to be included in dumpStats()/dumpStatsJson(). The
+     * group must outlive the System's dump calls.
+     */
+    void addStatGroup(const stats::StatGroup *group)
+    {
+        extraStats_.push_back(group);
+    }
 
     /** Print every component's statistics. */
     void dumpStats(std::ostream &os) const;
@@ -93,7 +108,7 @@ class System
 
   private:
     RunResult collect(const std::string &workload_name, Tick runtime,
-                      std::uint64_t mem_ops) const;
+                      std::uint64_t mem_ops, bool hung) const;
     void startDowngradeInjector(Process &proc, const bool *finished);
 
     SystemConfig config_;
@@ -112,8 +127,17 @@ class System
      */
     std::unique_ptr<trace::Tracer> tracer_;
     std::unique_ptr<HostProfiler> profiler_;
+    /**
+     * Chaos hooks (null on zero-fault runs). Declared before the
+     * components like the tracer: injection sites reach them through
+     * raw EventQueue pointers.
+     */
+    std::unique_ptr<fault::FaultEngine> faultEngine_;
+    std::unique_ptr<fault::Watchdog> watchdog_;
     /** "system.allocprof" counters, printed last by dumpStats(). */
     stats::StatGroup allocProf_;
+    /** Externally owned groups appended to the stat dumps. */
+    std::vector<const stats::StatGroup *> extraStats_;
     std::unique_ptr<BackingStore> store_;
     std::unique_ptr<Dram> dram_;
     std::unique_ptr<CoherencePoint> coherence_;

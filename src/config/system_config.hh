@@ -10,6 +10,7 @@
 #include <string>
 
 #include "mem/addr.hh"
+#include "sim/fault.hh"
 #include "sim/types.hh"
 
 namespace bctrl {
@@ -104,6 +105,21 @@ struct SystemConfig {
     /** Use the selective per-page downgrade flush (§3.2.4 option). */
     bool selectiveFlush = false;
 
+    /** @name Violation response (OS policy) */
+    /// @{
+    /** Unschedule the offending process when BC reports a violation. */
+    bool killOnViolation = false;
+    /** Quarantine the accelerator (pause/flush/zero-table/resume). */
+    bool quarantineOnViolation = false;
+    /// @}
+
+    /**
+     * Deterministic fault-injection plan (chaos runs). An inactive
+     * plan (the default) leaves the System without a FaultEngine or
+     * Watchdog, keeping the simulation bit-identical to baseline.
+     */
+    fault::FaultPlan faultPlan;
+
     /** Workload scale factor and RNG seed. */
     std::uint64_t workloadScale = 1;
     std::uint64_t seed = 1;
@@ -167,6 +183,18 @@ struct RunResult {
     std::uint64_t pageFaults = 0;
     std::uint64_t translations = 0;
     std::uint64_t pageWalks = 0;
+
+    /** @name Chaos outcomes (zero unless a FaultPlan was active) */
+    /// @{
+    bool hung = false;             ///< watchdog declared a hang
+    std::uint64_t faultsInjected = 0;
+    std::uint64_t dropsReleased = 0; ///< held messages re-delivered
+    std::uint64_t atsRetries = 0;
+    std::uint64_t shootdownRetries = 0;
+    std::uint64_t quarantines = 0;
+    std::uint64_t kills = 0;
+    std::uint64_t unsafeWrites = 0; ///< poisoned-frame writes reaching DRAM
+    /// @}
 
     std::uint64_t dramBytes = 0;
     double dramUtilization = 0;

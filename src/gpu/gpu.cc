@@ -145,6 +145,8 @@ Gpu::finishMemOp(bool denied, std::function<void(bool)> done)
         ++deniedOps_;
     panic_if(outstandingMemOps_ == 0, "outstanding mem op underflow");
     --outstandingMemOps_;
+    eventQueue().noteProgress(); // watchdog food: an op completed
+
     done(denied);
     if (paused_ && outstandingMemOps_ == 0 && pauseCb_) {
         auto cb = std::move(pauseCb_);

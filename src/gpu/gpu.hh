@@ -125,6 +125,8 @@ class Gpu : public SimObject, public AcceleratorControl
     {
         return static_cast<std::uint64_t>(deniedOps_.value());
     }
+    /** Memory ops issued but not yet completed (watchdog probe). */
+    std::uint64_t outstandingMemOps() const { return outstandingMemOps_; }
 
   private:
     void issuePhys(unsigned cu, const WorkItem &item,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/fault.hh"
 #include "sim/host_profiler.hh"
 #include "sim/trace.hh"
 
@@ -52,6 +53,19 @@ Dram::access(const PacketPtr &pkt)
                 pkt->isRead() ? "read" : "write", start, xfer,
                 pkt->traceId, pkt->paddr);
 
+    fault::FaultEngine *fe = eventQueue().faultEngine();
+    if (fe != nullptr) {
+        // Safety-invariant audit: the memory endpoint is the ground
+        // truth for "an unsafe access completed". If a corrupted
+        // translation poisoned a frame and an accelerator write to it
+        // got this far, every checker upstream failed.
+        if (pkt->isWrite() && pkt->requestor == Requestor::accelerator &&
+            fe->poisoned(pkt->pageNum()))
+            fe->noteUnsafeWrite();
+    }
+
+    Tick done = pkt->isRead() ? busyUntil_ + params_.accessLatency
+                              : busyUntil_;
     if (pkt->isRead()) {
         // Memory is the default owner: a fill that asked for a
         // writable copy gets one when it reaches the memory endpoint
@@ -60,15 +74,42 @@ Dram::access(const PacketPtr &pkt)
             pkt->grantedWritable = true;
         ++readReqs_;
         bytesRead_ += pkt->size;
-        const Tick done = busyUntil_ + params_.accessLatency;
         readLatency_.sample(static_cast<double>(done - now));
-        respondAt(eventQueue(), pkt, done);
     } else {
         ++writeReqs_;
         bytesWritten_ += pkt->size;
         // Writes are acknowledged once the channel accepts them.
-        respondAt(eventQueue(), pkt, busyUntil_);
     }
+
+    // Injection point: the completion crossing back to the requester.
+    if (fe != nullptr) {
+        const fault::Decision fd =
+            fe->decide(fault::Point::dramResponse, now);
+        switch (fd.kind) {
+          case fault::Kind::drop: {
+            // The response vanishes until recovery re-delivers it (at
+            // release time, not at the stale completion tick).
+            PacketPtr held = pkt;
+            EventQueue *eqp = &eventQueue();
+            fe->holdDropped("dram.response", now, [eqp, held]() {
+                respondAt(*eqp, held, eqp->curTick());
+            });
+            return;
+          }
+          case fault::Kind::delay:
+            done += fd.delay;
+            break;
+          case fault::Kind::duplicate:
+            // A replayed completion. respondAt() consumes onResponse
+            // on first delivery, so the duplicate is absorbed — the
+            // responded-once contract holds by construction.
+            respondAt(eventQueue(), pkt, done);
+            break;
+          default:
+            break;
+        }
+    }
+    respondAt(eventQueue(), pkt, done);
 }
 
 double

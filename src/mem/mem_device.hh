@@ -48,6 +48,9 @@ respondAt(EventQueue &eq, const PacketPtr &pkt, Tick when)
     EventQueue *eqp = &eq;
     eq.scheduleLambda([eqp, pkt]() {
         if (pkt->onResponse) {
+            // Watchdog food: every delivered response is forward
+            // progress (a plain host-side counter bump).
+            eqp->noteProgress();
             BCTRL_ASSERT_MSG(!pkt->responded,
                              "second response delivered for packet %s",
                              pkt->toString().c_str());

@@ -1,7 +1,9 @@
 #include "os/kernel.hh"
 
 #include "bc/border_control.hh"
+#include "sim/fault.hh"
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 #include "vm/ats.hh"
 #include "vm/iommu_frontend.hh"
 
@@ -18,7 +20,18 @@ Kernel::Kernel(EventQueue &eq, const std::string &name,
       shootdowns_(statGroup().scalar("shootdowns",
                                      "TLB shootdown rounds")),
       violationStat_(statGroup().scalar(
-          "violations", "Border Control violations reported to the OS"))
+          "violations", "Border Control violations reported to the OS")),
+      quarantines_(statGroup().scalar(
+          "quarantines",
+          "accelerator quarantine-and-recovery episodes completed")),
+      killsPerformed_(statGroup().scalar(
+          "kills", "processes unscheduled after a violation")),
+      shootdownRetries_(statGroup().scalar(
+          "shootdownRetries",
+          "shootdown rounds re-issued after a lost ack")),
+      shootdownRetriesExhausted_(statGroup().scalar(
+          "shootdownRetriesExhausted",
+          "shootdowns that fell back to a full table zero"))
 {
     // Reserve the first megabyte (frame 0 stays a null page).
     nextFrame_ = 0x100000;
@@ -127,8 +140,17 @@ Kernel::scheduleOnAccelerator(Process &proc)
 void
 Kernel::releaseAccelerator(Process &proc, std::function<void()> done)
 {
-    panic_if(!accelRunning(proc.asid()),
-             "releasing a process that is not scheduled");
+    if (!accelRunning(proc.asid())) {
+        // Already unscheduled — killed after a violation. The kill
+        // path performed the teardown; completion is all that is left.
+        eventQueue().scheduleLambda(
+            [done = std::move(done)]() {
+                if (done)
+                    done();
+            },
+            curTick());
+        return;
+    }
     const Asid asid = proc.asid();
 
     auto finish = [this, asid, done = std::move(done)]() {
@@ -177,10 +199,135 @@ Kernel::onViolation(const Packet &pkt)
     ++violationStat_;
     violations_.push_back(
         ViolationRecord{curTick(), pkt.paddr, pkt.isWrite()});
-    if (params_.killOnViolation && accel_ != nullptr) {
-        warn("border violation at paddr 0x%llx: disabling accelerator",
-             (unsigned long long)pkt.paddr);
+    trace::emit(eventQueue(), trace::Flag::Os, name().c_str(),
+                "violation", curTick(), 0, pkt.traceId, pkt.paddr);
+    if (params_.killOnViolation) {
+        warn("border violation at paddr 0x%llx: killing asid %u",
+             (unsigned long long)pkt.paddr, (unsigned)pkt.asid);
+        killProcess(pkt.asid, pkt.paddr);
     }
+    if (params_.quarantineOnViolation && !quarantinePending_) {
+        quarantinePending_ = true;
+        pendingRecovery_ = RecoveryRecord{};
+        pendingRecovery_.paddr = pkt.paddr;
+        pendingRecovery_.wasWrite = pkt.isWrite();
+        pendingRecovery_.traceId = pkt.traceId;
+        // Decouple from the delivery context (the violation arrives in
+        // the middle of a memory-response path) and wait for any
+        // in-flight downgrade protocol to release the accelerator.
+        eventQueue().scheduleLambda([this]() { tryQuarantine(); },
+                                    curTick());
+    }
+}
+
+void
+Kernel::killProcess(Asid asid, Addr paddr)
+{
+    // Wild (physical-address) attacks carry no usable ASID; there is
+    // no process to unschedule, so only the record above remains.
+    if (asid == 0 || !accelRunning(asid))
+        return;
+    ++killsPerformed_;
+    trace::emit(eventQueue(), trace::Flag::Os, name().c_str(), "kill",
+                curTick(), 0, 0, paddr);
+    if (ats_ != nullptr)
+        ats_->invalidateAsid(asid);
+    if (iommuFrontend_ != nullptr)
+        iommuFrontend_->invalidateAsid(asid);
+    accelAsids_.erase(asid);
+    if (borderControl_ != nullptr) {
+        // The Protection Table holds merged permissions with no ASID
+        // dimension (§3.1.1): revoking one process's grants means
+        // zeroing it; survivors repopulate lazily (Fig. 3e).
+        borderControl_->zeroTableAndInvalidate();
+        trace::emit(eventQueue(), trace::Flag::Os, name().c_str(),
+                    "ptZero", curTick(), 0, 0, 0);
+        if (accel_ != nullptr)
+            accel_->invalidateTlbs();
+        if (borderControl_->decrUseCount() == 0) {
+            borderControl_->detachTable();
+            table_.reset();
+        }
+    }
+}
+
+void
+Kernel::whenAccelIdle(std::function<void()> op)
+{
+    if (!accelBusy_) {
+        op();
+        return;
+    }
+    eventQueue().scheduleLambda(
+        [this, op = std::move(op)]() mutable {
+            whenAccelIdle(std::move(op));
+        },
+        curTick() + params_.shootdownLatency);
+}
+
+void
+Kernel::tryQuarantine()
+{
+    if (accelBusy_) {
+        eventQueue().scheduleLambda([this]() { tryQuarantine(); },
+                                    curTick() + params_.shootdownLatency);
+        return;
+    }
+    accelBusy_ = true;
+    pendingRecovery_.begin = curTick();
+    trace::emit(eventQueue(), trace::Flag::Os, name().c_str(),
+                "quarantineBegin", curTick(), 0, pendingRecovery_.traceId,
+                pendingRecovery_.paddr);
+
+    auto protocol = [this]() {
+        // Quiesced: flush everything the accelerator dirtied, then
+        // revoke its entire view of memory.
+        auto after_flush = [this]() {
+            if (borderControl_ != nullptr && table_) {
+                borderControl_->zeroTableAndInvalidate();
+                trace::emit(eventQueue(), trace::Flag::Os,
+                            name().c_str(), "ptZero", curTick(), 0,
+                            pendingRecovery_.traceId, 0);
+            }
+            if (accel_ != nullptr)
+                accel_->invalidateTlbs();
+            if (ats_ != nullptr)
+                ats_->invalidateAll();
+            if (iommuFrontend_ != nullptr) {
+                for (Asid a : accelAsids_)
+                    iommuFrontend_->invalidateAsid(a);
+            }
+            eventQueue().scheduleLambda(
+                [this]() {
+                    ++quarantines_;
+                    pendingRecovery_.end = curTick();
+                    recoveries_.push_back(pendingRecovery_);
+                    trace::emit(eventQueue(), trace::Flag::Os,
+                                name().c_str(), "quarantineEnd",
+                                pendingRecovery_.begin,
+                                curTick() - pendingRecovery_.begin,
+                                pendingRecovery_.traceId,
+                                pendingRecovery_.paddr);
+                    accelBusy_ = false;
+                    quarantinePending_ = false;
+                    // Surviving processes stay scheduled; their table
+                    // entries and TLB state refill lazily on the next
+                    // translation (Fig. 3e).
+                    if (accel_ != nullptr)
+                        accel_->resume();
+                },
+                curTick() + params_.shootdownLatency);
+        };
+        if (accel_ != nullptr)
+            accel_->flushCaches(after_flush);
+        else
+            after_flush();
+    };
+
+    if (accel_ != nullptr)
+        accel_->pause(protocol);
+    else
+        protocol();
 }
 
 void
@@ -227,6 +374,80 @@ Kernel::injectDowngrade(Process &proc, std::function<void()> done)
 }
 
 void
+Kernel::shootdownRound(Asid asid, Addr vpn, unsigned attempt,
+                       std::function<void()> next)
+{
+    ++shootdowns_;
+    if (accel_ != nullptr)
+        accel_->invalidateTlbPage(asid, vpn);
+    if (ats_ != nullptr)
+        ats_->invalidatePage(asid, vpn);
+    if (iommuFrontend_ != nullptr)
+        iommuFrontend_->invalidatePage(asid, vpn);
+
+    // Injection point: the invalidation acknowledgement crossing back
+    // from the accelerator. Zero-fault runs fall straight through.
+    if (fault::FaultEngine *fe = eventQueue().faultEngine()) {
+        const fault::Decision fd =
+            fe->decide(fault::Point::shootdownAck, curTick());
+        switch (fd.kind) {
+          case fault::Kind::drop: {
+            if (attempt < params_.maxShootdownRetries) {
+                // Lost ack: re-run the (idempotent) round after a
+                // backoff proportional to the shootdown cost.
+                ++shootdownRetries_;
+                trace::emit(eventQueue(), trace::Flag::Os,
+                            name().c_str(), "shootdownRetry", curTick(),
+                            0, 0, pageBase(vpn));
+                const Tick backoff =
+                    params_.shootdownLatency * (attempt + 1);
+                eventQueue().scheduleLambda(
+                    [this, asid, vpn, attempt,
+                     next = std::move(next)]() mutable {
+                        shootdownRound(asid, vpn, attempt + 1,
+                                       std::move(next));
+                    },
+                    curTick() + backoff);
+                return;
+            }
+            // Retries exhausted: fall back to the big hammer, which
+            // needs no ack to be safe — zero the table and invalidate
+            // every TLB, so no stale grant can survive.
+            ++shootdownRetriesExhausted_;
+            if (borderControl_ != nullptr && table_)
+                borderControl_->zeroTableAndInvalidate();
+            if (accel_ != nullptr)
+                accel_->invalidateTlbs();
+            if (ats_ != nullptr)
+                ats_->invalidateAll();
+            break;
+          }
+          case fault::Kind::delay: {
+            eventQueue().scheduleLambda(
+                [next = std::move(next)]() { next(); },
+                curTick() + fd.delay);
+            return;
+          }
+          case fault::Kind::duplicate: {
+            // The ack (and so the round) lands twice; the
+            // invalidations are idempotent.
+            fault::FaultEngine::Suppressor guard(fe);
+            if (accel_ != nullptr)
+                accel_->invalidateTlbPage(asid, vpn);
+            if (ats_ != nullptr)
+                ats_->invalidatePage(asid, vpn);
+            if (iommuFrontend_ != nullptr)
+                iommuFrontend_->invalidatePage(asid, vpn);
+            break;
+          }
+          default:
+            break;
+        }
+    }
+    next();
+}
+
+void
 Kernel::shootdownAndDowngrade(Process &proc, Addr vaddr,
                               Perms table_perms, Perms new_perms,
                               bool restore_after, Perms restore_perms,
@@ -242,30 +463,27 @@ Kernel::shootdownAndDowngrade(Process &proc, Addr vaddr,
     auto protocol = [this, procp, asid, vaddr, vpn, ppn, prior,
                      new_perms, restore_after, restore_perms,
                      done = std::move(done)]() mutable {
-        // Quiesced: invalidate the stale translation everywhere.
-        ++shootdowns_;
-        if (accel_ != nullptr)
-            accel_->invalidateTlbPage(asid, vpn);
-        if (ats_ != nullptr)
-            ats_->invalidatePage(asid, vpn);
-        if (iommuFrontend_ != nullptr)
-            iommuFrontend_->invalidatePage(asid, vpn);
-
-        auto finish = [this, procp, vaddr, restore_perms,
-                       restore_after,
-                       done = std::move(done)]() mutable {
-            eventQueue().scheduleLambda(
-                [this, procp, vaddr, restore_perms, restore_after,
-                 done = std::move(done)]() mutable {
-                    if (restore_after)
-                        procp->protectPage(vaddr, restore_perms);
-                    ++downgradesPerformed_;
-                    if (accel_ != nullptr)
-                        accel_->resume();
-                    if (done)
-                        done();
-                },
-                curTick() + params_.shootdownLatency);
+        // Quiesced: invalidate the stale translation everywhere, then
+        // continue once the shootdown round is acknowledged.
+        auto after_round = [this, procp, vaddr, ppn, prior, new_perms,
+                            restore_after, restore_perms,
+                            done = std::move(done)]() mutable {
+            auto finish = [this, procp, vaddr, restore_perms,
+                           restore_after,
+                           done = std::move(done)]() mutable {
+                eventQueue().scheduleLambda(
+                    [this, procp, vaddr, restore_perms, restore_after,
+                     done = std::move(done)]() mutable {
+                        if (restore_after)
+                            procp->protectPage(vaddr, restore_perms);
+                        ++downgradesPerformed_;
+                        accelBusy_ = false;
+                        if (accel_ != nullptr)
+                            accel_->resume();
+                        if (done)
+                            done();
+                    },
+                    curTick() + params_.shootdownLatency);
         };
 
         if (borderControl_ == nullptr || !table_) {
@@ -301,12 +519,19 @@ Kernel::shootdownAndDowngrade(Process &proc, Addr vaddr,
             borderControl_->downgradePage(ppn, new_perms);
             finish();
         }
+        };
+
+        shootdownRound(asid, vpn, 0, std::move(after_round));
     };
 
-    if (accel_ != nullptr)
-        accel_->pause(std::move(protocol));
-    else
-        protocol();
+    auto start = [this, protocol = std::move(protocol)]() mutable {
+        accelBusy_ = true;
+        if (accel_ != nullptr)
+            accel_->pause(std::move(protocol));
+        else
+            protocol();
+    };
+    whenAccelIdle(std::move(start));
 }
 
 } // namespace bctrl

@@ -36,6 +36,20 @@ struct ViolationRecord {
     bool wasWrite = false;
 };
 
+/**
+ * One quarantine-and-recovery episode: the OS paused the accelerator
+ * after a violation, flushed it, zeroed the Protection Table, and let
+ * the surviving processes continue. Graceful degradation as a
+ * first-class measurable outcome.
+ */
+struct RecoveryRecord {
+    Tick begin = 0;          ///< quarantine entered (accelerator pausing)
+    Tick end = 0;            ///< accelerator resumed
+    Addr paddr = 0;          ///< offending access's physical address
+    bool wasWrite = false;   ///< offending access was a write
+    std::uint64_t traceId = 0; ///< offending packet's trace id (0 = none)
+};
+
 class Kernel : public SimObject, public FrameAllocator
 {
   public:
@@ -58,6 +72,16 @@ class Kernel : public SimObject, public FrameAllocator
          * unschedule the offending process from the accelerator.
          */
         bool killOnViolation = false;
+        /**
+         * Stronger violation response: quarantine the accelerator as a
+         * whole — pause it, flush its caches, zero the Protection
+         * Table, invalidate every TLB, then resume so surviving
+         * processes can repopulate lazily (Fig. 3e). Each episode is
+         * recorded as a RecoveryRecord.
+         */
+        bool quarantineOnViolation = false;
+        /** Shootdown rounds re-issued when an ack is lost (chaos). */
+        unsigned maxShootdownRetries = 4;
     };
 
     Kernel(EventQueue &eq, const std::string &name, BackingStore &store,
@@ -158,6 +182,23 @@ class Kernel : public SimObject, public FrameAllocator
     {
         return violations_;
     }
+    /** Completed quarantine-and-recovery episodes, in order. */
+    const std::vector<RecoveryRecord> &recoveries() const
+    {
+        return recoveries_;
+    }
+    std::uint64_t quarantines() const
+    {
+        return static_cast<std::uint64_t>(quarantines_.value());
+    }
+    std::uint64_t kills() const
+    {
+        return static_cast<std::uint64_t>(killsPerformed_.value());
+    }
+    std::uint64_t shootdownRetries() const
+    {
+        return static_cast<std::uint64_t>(shootdownRetries_.value());
+    }
     /// @}
 
   private:
@@ -172,6 +213,30 @@ class Kernel : public SimObject, public FrameAllocator
                                Perms table_perms, Perms new_perms,
                                bool restore_after, Perms restore_perms,
                                std::function<void()> done);
+
+    /**
+     * One shootdown round: invalidate the page in every TLB, then wait
+     * for the acknowledgement. A lost ack (chaos runs) re-issues the
+     * round with backoff up to maxShootdownRetries; exhaustion falls
+     * back to zeroing the table and invalidating everything, which
+     * needs no ack to be safe. @p next continues the Fig. 3d protocol.
+     */
+    void shootdownRound(Asid asid, Addr vpn, unsigned attempt,
+                        std::function<void()> next);
+
+    /**
+     * Serialize quiesce/resume cycles: the accelerator cannot be
+     * paused twice. Runs @p op immediately when the accelerator is
+     * free (the only case on zero-fault runs, so timing is identical),
+     * otherwise retries on a shootdown-latency beat.
+     */
+    void whenAccelIdle(std::function<void()> op);
+
+    /** Unschedule @p asid after a violation (killOnViolation). */
+    void killProcess(Asid asid, Addr paddr);
+
+    /** Run one quarantine episode when the accelerator is free. */
+    void tryQuarantine();
 
     BackingStore &store_;
     Params params_;
@@ -195,11 +260,22 @@ class Kernel : public SimObject, public FrameAllocator
     std::unique_ptr<ProtectionTable> table_;
 
     std::vector<ViolationRecord> violations_;
+    std::vector<RecoveryRecord> recoveries_;
     std::uint64_t downgradesPerformed_ = 0;
+
+    /** A quiesce/resume cycle (downgrade or quarantine) is running. */
+    bool accelBusy_ = false;
+    /** A quarantine episode is queued or running. */
+    bool quarantinePending_ = false;
+    RecoveryRecord pendingRecovery_;
 
     stats::Scalar &pageFaults_;
     stats::Scalar &shootdowns_;
     stats::Scalar &violationStat_;
+    stats::Scalar &quarantines_;
+    stats::Scalar &killsPerformed_;
+    stats::Scalar &shootdownRetries_;
+    stats::Scalar &shootdownRetriesExhausted_;
 };
 
 } // namespace bctrl

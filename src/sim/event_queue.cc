@@ -195,7 +195,8 @@ EventQueue::step()
 Tick
 EventQueue::run(Tick maxTick)
 {
-    while (serviceOne(maxTick)) {
+    stopRequested_ = false;
+    while (!stopRequested_ && serviceOne(maxTick)) {
     }
     return curTick_;
 }

@@ -29,6 +29,11 @@ namespace trace {
 class Tracer;
 } // namespace trace
 
+namespace fault {
+class FaultEngine;
+class Watchdog;
+} // namespace fault
+
 /**
  * Inline capacity of queue-owned lambda callbacks. Sized for the
  * measured worst-case hot capture: the GPU TLB-hit issue path stores a
@@ -224,6 +229,38 @@ class EventQueue
     void setProfiler(HostProfiler *profiler) { profiler_ = profiler; }
     /// @}
 
+    /**
+     * @name Chaos hooks
+     * Fault engine and watchdog follow the tracer contract: null
+     * unless the System's FaultPlan is active, so every injection
+     * site's disabled cost is one pointer-load-and-branch and the
+     * zero-fault path is bit-identical.
+     */
+    /// @{
+    fault::FaultEngine *faultEngine() const { return faultEngine_; }
+    void setFaultEngine(fault::FaultEngine *engine)
+    {
+        faultEngine_ = engine;
+    }
+    fault::Watchdog *watchdog() const { return watchdog_; }
+    void setWatchdog(fault::Watchdog *watchdog) { watchdog_ = watchdog; }
+
+    /**
+     * Forward-progress food for the watchdog: response delivery and
+     * memory-op retirement call this unconditionally (a bare counter
+     * increment; no simulated state is touched).
+     */
+    void noteProgress() { ++progressMarks_; }
+    std::uint64_t progressMarks() const { return progressMarks_; }
+
+    /**
+     * Ask run() to return after the current event. Cleared on the next
+     * run() entry; used by the watchdog to fail fast on a hang.
+     */
+    void requestStop() { stopRequested_ = true; }
+    bool stopRequested() const { return stopRequested_; }
+    /// @}
+
   private:
     struct Entry {
         Tick when;
@@ -270,6 +307,10 @@ class EventQueue
     std::uint64_t lambdaSpills_ = 0;
     trace::Tracer *tracer_ = nullptr;
     HostProfiler *profiler_ = nullptr;
+    fault::FaultEngine *faultEngine_ = nullptr;
+    fault::Watchdog *watchdog_ = nullptr;
+    std::uint64_t progressMarks_ = 0;
+    bool stopRequested_ = false;
 };
 
 /**

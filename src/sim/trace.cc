@@ -24,6 +24,7 @@ constexpr FlagName kFlagNames[] = {
     {Flag::DRAM, "DRAM"},
     {Flag::Cache, "Cache"},
     {Flag::PacketLife, "PacketLife"},
+    {Flag::Os, "Os"},
 };
 
 std::string

@@ -42,9 +42,10 @@ enum class Flag : std::uint32_t {
     DRAM = 1u << 4,       ///< DRAM channel occupancy
     Cache = 1u << 5,      ///< cache hits, misses, and fills
     PacketLife = 1u << 6, ///< packet issue/retire lifecycle markers
+    Os = 1u << 7,         ///< kernel violation handling and recovery
 };
 
-constexpr std::uint32_t allFlags = (1u << 7) - 1;
+constexpr std::uint32_t allFlags = (1u << 8) - 1;
 
 /** Short stable name of one flag ("BCC", "ProtTable", ...). */
 const char *flagName(Flag flag);

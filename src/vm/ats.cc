@@ -5,8 +5,10 @@
 
 #include "bc/border_control.hh"
 #include "os/kernel.hh"
+#include "sim/fault.hh"
 #include "sim/host_profiler.hh"
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace bctrl {
 
@@ -18,6 +20,7 @@ struct WalkState {
     Addr vaddr = 0;
     bool needWrite = false;
     bool afterFault = false;
+    unsigned attempt = 0;
     WalkResult result;
     Ats::Callback cb;
     std::size_t next = 0;
@@ -38,7 +41,12 @@ Ats::Ats(EventQueue &eq, const std::string &name, const Params &params,
       faultsServiced_(statGroup().scalar(
           "faultsServiced", "demand-paging faults taken during walks")),
       failures_(statGroup().scalar("failures",
-                                   "translations that faulted fatally"))
+                                   "translations that faulted fatally")),
+      retries_(statGroup().scalar(
+          "retries", "translations re-issued after a dropped response")),
+      retriesExhausted_(statGroup().scalar(
+          "retriesExhausted",
+          "translations abandoned after exhausting retries"))
 {
     statGroup().addChild(&l2Tlb_.statGroup());
     panic_if(params_.clockPeriod == 0, "ATS clock period is zero");
@@ -76,6 +84,99 @@ Ats::fail(Callback cb, Tick when)
 void
 Ats::translate(Asid asid, Addr vaddr, bool need_write, Callback cb)
 {
+    translateAttempt(asid, vaddr, need_write, std::move(cb), 0);
+}
+
+bool
+Ats::deliverFaulted(Asid asid, Addr vaddr, bool need_write,
+                    unsigned attempt, TlbEntry &entry, Callback &cb)
+{
+    fault::FaultEngine *fe = eventQueue().faultEngine();
+    if (fe == nullptr)
+        return false;
+    const fault::Decision fd =
+        fe->decide(fault::Point::atsResponse, curTick());
+    switch (fd.kind) {
+      case fault::Kind::drop: {
+        // The response is lost on the link. The requester's timeout
+        // re-issues the translation with exponential backoff; after
+        // maxRetries the op is abandoned as a translation fault so the
+        // wavefront can make (degraded) progress instead of hanging.
+        if (attempt < params_.maxRetries) {
+            ++retries_;
+            trace::emit(eventQueue(), trace::Flag::Os, name().c_str(),
+                        "atsRetry", curTick(), 0, 0, vaddr);
+            const Tick backoff = params_.retryBackoff << attempt;
+            Callback again = std::move(cb);
+            eventQueue().scheduleLambda(
+                [this, asid, vaddr, need_write, attempt,
+                 again = std::move(again)]() mutable {
+                    translateAttempt(asid, vaddr, need_write,
+                                     std::move(again), attempt + 1);
+                },
+                curTick() + backoff);
+        } else {
+            ++retriesExhausted_;
+            fail(std::move(cb), clockEdge(1));
+        }
+        return true;
+      }
+      case fault::Kind::delay: {
+        TlbEntry delayed = entry;
+        Callback held = std::move(cb);
+        eventQueue().scheduleLambda(
+            [held = std::move(held), delayed]() mutable {
+                held(true, delayed);
+            },
+            curTick() + fd.delay);
+        return true;
+      }
+      case fault::Kind::duplicate:
+        // The response arrives twice. Its side effects (TLB fill, BC
+        // notification) are idempotent and simply happen again; the
+        // requester consumes one delivery.
+        l2Tlb_.insert(entry);
+        if (borderControl_ != nullptr) {
+            borderControl_->onTranslation(asid, entry.vpn, entry.ppn,
+                                          entry.perms, entry.largePage);
+        }
+        return false;
+      case fault::Kind::corruptPerms:
+        // Permission bits flip in the copy handed to the requester.
+        // Border Control has already been notified with the true
+        // perms, so under a BC config the upgraded access still dies
+        // at the border; the engine records the frames the corruption
+        // pretends to grant so DRAM can audit what escapes.
+        if (!entry.perms.write) {
+            const unsigned pages =
+                entry.largePage ? pagesPerLargePage : 1;
+            for (unsigned i = 0; i < pages; ++i)
+                fe->notePoisonedPage(entry.ppn + i);
+        }
+        entry.perms = Perms::readWrite();
+        return false;
+      case fault::Kind::stuckAt:
+        // The response payload wedges at the first value delivered:
+        // later responses carry the stale frame and perms under the
+        // requested tag (so the address stays in physical bounds).
+        if (stuckValid_) {
+            entry.ppn = stuckEntry_.ppn;
+            entry.perms = stuckEntry_.perms;
+            entry.largePage = false;
+        } else {
+            stuckValid_ = true;
+            stuckEntry_ = entry;
+        }
+        return false;
+      default:
+        return false;
+    }
+}
+
+void
+Ats::translateAttempt(Asid asid, Addr vaddr, bool need_write,
+                      Callback cb, unsigned attempt)
+{
     HostProfiler::Scope profile(eventQueue().profiler(),
                                 HostProfiler::Slot::ats);
 
@@ -92,7 +193,8 @@ Ats::translate(Asid asid, Addr vaddr, bool need_write, Callback cb)
     }
 
     eventQueue().scheduleLambda(
-        [this, asid, vaddr, need_write, cb = std::move(cb)]() mutable {
+        [this, asid, vaddr, need_write, attempt,
+         cb = std::move(cb)]() mutable {
             const Addr vpn = pageNumber(vaddr);
             if (auto entry = l2Tlb_.lookup(asid, vpn)) {
                 if (!need_write || entry->perms.write) {
@@ -104,20 +206,27 @@ Ats::translate(Asid asid, Addr vaddr, bool need_write, Callback cb)
                             asid, entry->vpn, entry->ppn, entry->perms,
                             entry->largePage);
                     }
-                    cb(true, *entry);
+                    // Injection point: the translation response
+                    // crossing back to the requester.
+                    TlbEntry delivered = *entry;
+                    if (deliverFaulted(asid, vaddr, need_write, attempt,
+                                       delivered, cb))
+                        return;
+                    cb(true, delivered);
                     return;
                 }
                 // Cached entry lacks write permission: re-walk; the PTE
                 // may have been upgraded since.
             }
-            startWalk(asid, vaddr, need_write, std::move(cb), false);
+            startWalk(asid, vaddr, need_write, std::move(cb), false,
+                      attempt);
         },
         lookup_done);
 }
 
 void
 Ats::startWalk(Asid asid, Addr vaddr, bool need_write, Callback cb,
-               bool after_fault)
+               bool after_fault, unsigned attempt)
 {
     Process *proc = kernel_->findProcess(asid);
     if (proc == nullptr) {
@@ -131,6 +240,7 @@ Ats::startWalk(Asid asid, Addr vaddr, bool need_write, Callback cb,
     state->vaddr = vaddr;
     state->needWrite = need_write;
     state->afterFault = after_fault;
+    state->attempt = attempt;
     state->result = proc->pageTable().walk(vaddr);
     state->cb = std::move(cb);
 
@@ -165,7 +275,8 @@ Ats::walkDone(const std::shared_ptr<void> &opaque)
 
     if (ok) {
         finishTranslation(state->asid, state->vaddr, r, curTick(),
-                          std::move(state->cb));
+                          std::move(state->cb), state->attempt,
+                          state->needWrite);
         return;
     }
 
@@ -178,10 +289,13 @@ Ats::walkDone(const std::shared_ptr<void> &opaque)
         Asid asid = state->asid;
         Addr vaddr = state->vaddr;
         bool need_write = state->needWrite;
+        unsigned attempt = state->attempt;
         Callback cb = std::move(state->cb);
         eventQueue().scheduleLambda(
-            [this, asid, vaddr, need_write, cb = std::move(cb)]() mutable {
-                startWalk(asid, vaddr, need_write, std::move(cb), true);
+            [this, asid, vaddr, need_write, attempt,
+             cb = std::move(cb)]() mutable {
+                startWalk(asid, vaddr, need_write, std::move(cb), true,
+                          attempt);
             },
             curTick() + kernel_->pageFaultLatency());
         return;
@@ -192,7 +306,8 @@ Ats::walkDone(const std::shared_ptr<void> &opaque)
 
 void
 Ats::finishTranslation(Asid asid, Addr vaddr, const WalkResult &result,
-                       Tick when, Callback cb)
+                       Tick when, Callback cb, unsigned attempt,
+                       bool need_write)
 {
     TlbEntry entry;
     entry.asid = asid;
@@ -211,6 +326,11 @@ Ats::finishTranslation(Asid asid, Addr vaddr, const WalkResult &result,
         borderControl_->onTranslation(asid, entry.vpn, entry.ppn,
                                       entry.perms, entry.largePage);
     }
+    // Injection point: the walk-completed response crossing back to
+    // the requester. The trusted structures above already hold the
+    // true translation; only the delivered copy can be perturbed.
+    if (deliverFaulted(asid, vaddr, need_write, attempt, entry, cb))
+        return;
     eventQueue().scheduleLambda(
         [cb = std::move(cb), entry]() { cb(true, entry); }, when);
 }

@@ -42,6 +42,14 @@ class Ats : public SimObject
          * service is a shared, single-ported unit.
          */
         unsigned translationsPerCycle = 1;
+        /**
+         * Lost-response recovery (chaos runs): how many times a
+         * translation is re-issued when its response is dropped, and
+         * the first re-issue delay (doubled per attempt). Zero-fault
+         * runs never consult either.
+         */
+        unsigned maxRetries = 8;
+        Tick retryBackoff = 20'000;
     };
 
     /** Completion callback: success flag plus the filled entry. */
@@ -88,6 +96,11 @@ class Ats : public SimObject
     {
         return static_cast<std::uint64_t>(failures_.value());
     }
+    /** Translations re-issued after a dropped response (chaos runs). */
+    std::uint64_t retries() const
+    {
+        return static_cast<std::uint64_t>(retries_.value());
+    }
 
   private:
     Tick clockEdge(Cycles cycles = 0) const;
@@ -95,9 +108,27 @@ class Ats : public SimObject
     /** Charge the request-port occupancy; @return service start tick. */
     Tick acquireSlot();
 
+    /**
+     * One translation attempt. @p attempt counts re-issues after a
+     * dropped response; attempt 0 is the behavior-identical path
+     * translate() always took.
+     */
+    void translateAttempt(Asid asid, Addr vaddr, bool need_write,
+                          Callback cb, unsigned attempt);
+
     /** Begin a page walk for (@p asid, @p vaddr). */
     void startWalk(Asid asid, Addr vaddr, bool need_write, Callback cb,
-                   bool after_fault);
+                   bool after_fault, unsigned attempt);
+
+    /**
+     * Consult the fault engine at the response-delivery border. May
+     * mutate @p entry (corrupt/stuck payloads). @return true when the
+     * fault consumed the delivery (retry scheduled, delayed delivery
+     * queued, or the translation abandoned); the caller then must not
+     * deliver @p cb itself.
+     */
+    bool deliverFaulted(Asid asid, Addr vaddr, bool need_write,
+                        unsigned attempt, TlbEntry &entry, Callback &cb);
 
     /** Issue the next PTE read of an in-flight walk (or finish it). */
     void issueNextPte(const std::shared_ptr<void> &state);
@@ -108,7 +139,8 @@ class Ats : public SimObject
     /** Deliver a successful translation: TLB fill, BC notify, cb. */
     void finishTranslation(Asid asid, Addr vaddr,
                            const WalkResult &result, Tick when,
-                           Callback cb);
+                           Callback cb, unsigned attempt,
+                           bool need_write);
 
     void fail(Callback cb, Tick when);
 
@@ -120,10 +152,16 @@ class Ats : public SimObject
     Tlb l2Tlb_;
     Tick slotBusyUntil_ = 0;
 
+    /** Stuck-at fault payload: the first delivered entry, replayed. */
+    TlbEntry stuckEntry_{};
+    bool stuckValid_ = false;
+
     stats::Scalar &translations_;
     stats::Scalar &walks_;
     stats::Scalar &faultsServiced_;
     stats::Scalar &failures_;
+    stats::Scalar &retries_;
+    stats::Scalar &retriesExhausted_;
 };
 
 } // namespace bctrl

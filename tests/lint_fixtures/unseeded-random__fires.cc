@@ -1,0 +1,14 @@
+// Fixture: std::<random> engines must not appear in simulation code;
+// everything draws from the explicitly seeded bctrl::Random.
+#include <random>
+
+namespace bctrl {
+
+unsigned
+badDraw()
+{
+    std::mt19937 gen(12345);
+    return static_cast<unsigned>(gen());
+}
+
+} // namespace bctrl

@@ -1,0 +1,14 @@
+// Fixture: the suppression comment silences unseeded-random.
+#include <random>
+
+namespace bctrl {
+
+unsigned
+toleratedDraw()
+{
+    // bclint:allow(unseeded-random)
+    std::mt19937_64 gen(99);
+    return static_cast<unsigned>(gen());
+}
+
+} // namespace bctrl

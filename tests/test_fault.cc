@@ -1,0 +1,442 @@
+/**
+ * @file
+ * Tests for the deterministic chaos engine (sim/fault.hh): seeded
+ * decision replay, rule gating, the hang watchdog, retry recovery at
+ * the ATS and shootdown borders, OS-level kill/quarantine recovery,
+ * and the zero-cost contract for the fault hooks. The FaultOverhead
+ * suite backs the ctest `perf_fault_overhead` (label "perf").
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "bc/attack.hh"
+#include "bc/border_control.hh"
+#include "mem/dram.hh"
+#include "os/kernel.hh"
+#include "sim/fault.hh"
+
+using namespace bctrl;
+using fault::FaultEngine;
+using fault::FaultPlan;
+using fault::Kind;
+using fault::Point;
+using fault::Rule;
+using fault::Watchdog;
+
+namespace {
+
+SystemConfig
+chaosConfig()
+{
+    SystemConfig cfg;
+    cfg.safety = SafetyModel::borderControlBcc;
+    cfg.profile = GpuProfile::moderatelyThreaded;
+    cfg.workloadScale = 1;
+    return cfg;
+}
+
+std::vector<Kind>
+decisionTrace(FaultEngine &engine, Point point, unsigned n)
+{
+    std::vector<Kind> kinds;
+    kinds.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        kinds.push_back(engine.decide(point, Tick{i} * 1000).kind);
+    return kinds;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// FaultEngine: seeded, replayable decisions.
+
+TEST(FaultEngine, SameSeedSameDecisions)
+{
+    FaultPlan plan;
+    plan.rules = {Rule{Point::dramResponse, Kind::drop, 0.5}};
+
+    FaultEngine a(plan);
+    FaultEngine b(plan);
+    EXPECT_EQ(decisionTrace(a, Point::dramResponse, 64),
+              decisionTrace(b, Point::dramResponse, 64));
+}
+
+TEST(FaultEngine, DifferentSeedDifferentDecisions)
+{
+    FaultPlan plan;
+    plan.rules = {Rule{Point::dramResponse, Kind::drop, 0.5}};
+    FaultEngine a(plan);
+    plan.seed ^= 0x9e3779b97f4a7c15ULL;
+    FaultEngine b(plan);
+    // 64 coin flips from independent streams: collision odds 2^-64.
+    EXPECT_NE(decisionTrace(a, Point::dramResponse, 64),
+              decisionTrace(b, Point::dramResponse, 64));
+}
+
+TEST(FaultEngine, PointsAreIndependentlyGated)
+{
+    FaultPlan plan;
+    plan.rules = {Rule{Point::atsResponse, Kind::delay, 1.0, 5'000}};
+    FaultEngine engine(plan);
+
+    EXPECT_EQ(engine.decide(Point::dramResponse, 0).kind, Kind::none);
+    const fault::Decision d = engine.decide(Point::atsResponse, 0);
+    EXPECT_EQ(d.kind, Kind::delay);
+    EXPECT_EQ(d.delay, 5'000u);
+}
+
+TEST(FaultEngine, WindowAndMaxFiresGate)
+{
+    FaultPlan plan;
+    Rule r{Point::atsResponse, Kind::drop, 1.0};
+    r.windowStart = 1'000;
+    r.windowEnd = 2'000;
+    r.maxFires = 3;
+    plan.rules = {r};
+    FaultEngine engine(plan);
+
+    EXPECT_EQ(engine.decide(Point::atsResponse, 500).kind, Kind::none);
+    for (int i = 0; i < 3; ++i) {
+        EXPECT_EQ(engine.decide(Point::atsResponse, 1'500).kind,
+                  Kind::drop);
+    }
+    // maxFires exhausted: the rule is spent even inside the window.
+    EXPECT_EQ(engine.decide(Point::atsResponse, 1'500).kind, Kind::none);
+    EXPECT_EQ(engine.decide(Point::atsResponse, 2'500).kind, Kind::none);
+    EXPECT_EQ(engine.totalInjected(), 3u);
+}
+
+TEST(FaultEngine, SuppressorAndDisableBlockInjection)
+{
+    FaultPlan plan;
+    plan.rules = {Rule{Point::gpuRequest, Kind::duplicate, 1.0}};
+    FaultEngine engine(plan);
+
+    {
+        FaultEngine::Suppressor guard(&engine);
+        EXPECT_EQ(engine.decide(Point::gpuRequest, 0).kind, Kind::none);
+    }
+    EXPECT_EQ(engine.decide(Point::gpuRequest, 0).kind,
+              Kind::duplicate);
+
+    engine.setEnabled(false);
+    EXPECT_EQ(engine.decide(Point::gpuRequest, 0).kind, Kind::none);
+}
+
+TEST(FaultEngine, HeldDropsReleaseOnDemand)
+{
+    EventQueue eq;
+    FaultPlan plan;
+    plan.rules = {Rule{Point::dramResponse, Kind::drop, 1.0}};
+    FaultEngine engine(plan);
+
+    int delivered = 0;
+    engine.holdDropped("dram", 100, [&]() { ++delivered; });
+    engine.holdDropped("dram", 250, [&]() { ++delivered; });
+    EXPECT_EQ(engine.heldCount(), 2u);
+    EXPECT_EQ(engine.oldestHeldTick(), 100u);
+    EXPECT_EQ(delivered, 0);
+
+    engine.releaseDropped(eq);
+    eq.run();
+    EXPECT_EQ(delivered, 2);
+    EXPECT_EQ(engine.heldCount(), 0u);
+    EXPECT_EQ(engine.dropsReleased(), 2u);
+}
+
+// ---------------------------------------------------------------------
+// Watchdog: simulated-time hang detection.
+
+TEST(Watchdog, DeclaresHangWhenStalledWithOutstandingWork)
+{
+    EventQueue eq;
+    Watchdog wd(eq, nullptr, 1'000);
+    wd.setOutstandingProbe([]() { return std::uint64_t{1}; });
+    wd.addReporter([]() { return std::string("  stuck: op #7\n"); });
+    wd.arm();
+    eq.run();
+
+    EXPECT_TRUE(wd.hangDetected());
+    EXPECT_EQ(wd.hangTick(), 1'000u);
+    EXPECT_TRUE(eq.stopRequested());
+    EXPECT_NE(wd.report().find("no forward progress"),
+              std::string::npos);
+    EXPECT_NE(wd.report().find("stuck: op #7"), std::string::npos);
+}
+
+TEST(Watchdog, ProgressKeepsItQuiet)
+{
+    EventQueue eq;
+    bool done = false;
+    Watchdog wd(eq, nullptr, 1'000);
+    wd.setOutstandingProbe([]() { return std::uint64_t{1}; });
+    wd.setDoneProbe([&done]() { return done; });
+
+    // Something completes inside every interval, then the run ends.
+    for (Tick t = 500; t <= 4'500; t += 500)
+        eq.scheduleLambda([&eq]() { eq.noteProgress(); }, t);
+    eq.scheduleLambda([&done]() { done = true; }, 4'600);
+
+    wd.arm();
+    eq.run();
+    EXPECT_FALSE(wd.hangDetected());
+    EXPECT_FALSE(eq.stopRequested());
+}
+
+TEST(Watchdog, QuiescentIdleIsNotAHang)
+{
+    EventQueue eq;
+    bool done = false;
+    Watchdog wd(eq, nullptr, 1'000);
+    // Nothing outstanding: pure-compute phases must not trip it.
+    wd.setOutstandingProbe([]() { return std::uint64_t{0}; });
+    wd.setDoneProbe([&done]() { return done; });
+    eq.scheduleLambda([&done]() { done = true; }, 3'500);
+
+    wd.arm();
+    eq.run();
+    EXPECT_FALSE(wd.hangDetected());
+}
+
+TEST(Watchdog, StandsDownWhenDoneSoTheQueueDrains)
+{
+    EventQueue eq;
+    Watchdog wd(eq, nullptr, 1'000);
+    wd.setOutstandingProbe([]() { return std::uint64_t{1}; });
+    wd.setDoneProbe([]() { return true; });
+    wd.arm();
+    // Without the done probe this would either spin forever or declare
+    // a bogus hang; with it the first check stands down and run()
+    // returns with an empty queue.
+    eq.run();
+    EXPECT_FALSE(wd.hangDetected());
+    EXPECT_EQ(eq.size(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Chaos: full-system fault injection, recovery, and quarantine.
+
+TEST(Chaos, WatchdogCatchesInjectedHang)
+{
+    SystemConfig cfg = chaosConfig();
+    Rule drop{Point::dramResponse, Kind::drop, 1.0};
+    drop.maxFires = 1;
+    cfg.faultPlan.rules = {drop};
+    cfg.faultPlan.watchdogInterval = 20'000'000;
+
+    System sys(cfg);
+    RunResult r = sys.run("uniform");
+
+    EXPECT_TRUE(r.hung);
+    EXPECT_EQ(r.faultsInjected, 1u);
+    // The held response was re-delivered after detection so the
+    // machine drained (teardown contracts would fire otherwise).
+    EXPECT_EQ(r.dropsReleased, 1u);
+    ASSERT_NE(sys.watchdog(), nullptr);
+    EXPECT_TRUE(sys.watchdog()->hangDetected());
+    EXPECT_FALSE(sys.watchdog()->report().empty());
+    EXPECT_EQ(sys.packetPool().inFlight(), 0u);
+}
+
+TEST(Chaos, AtsRetryRecoversFromDroppedResponses)
+{
+    SystemConfig cfg = chaosConfig();
+    cfg.faultPlan.rules = {Rule{Point::atsResponse, Kind::drop, 0.2}};
+    cfg.faultPlan.watchdogInterval = 50'000'000;
+
+    System sys(cfg);
+    RunResult r = sys.run("uniform");
+
+    EXPECT_FALSE(r.hung);
+    EXPECT_GT(r.faultsInjected, 0u);
+    EXPECT_GT(r.atsRetries, 0u);
+    EXPECT_EQ(r.unsafeWrites, 0u);
+    EXPECT_EQ(sys.packetPool().inFlight(), 0u);
+}
+
+TEST(Chaos, ShootdownRetriesRecoverDroppedAcks)
+{
+    SystemConfig cfg = chaosConfig();
+    cfg.faultPlan.rules = {Rule{Point::shootdownAck, Kind::drop, 0.5}};
+    cfg.faultPlan.watchdogInterval = 50'000'000;
+    cfg.downgradesPerSecond = 2'000'000.0;
+
+    System sys(cfg);
+    RunResult r = sys.run("uniform");
+
+    EXPECT_FALSE(r.hung);
+    EXPECT_GT(r.downgrades, 0u);
+    EXPECT_GT(r.shootdownRetries, 0u);
+    EXPECT_EQ(sys.packetPool().inFlight(), 0u);
+}
+
+TEST(Chaos, QuarantineRecoversWithRequestsInFlight)
+{
+    SystemConfig cfg = chaosConfig();
+    cfg.quarantineOnViolation = true;
+    // Inactive rules; the watchdog interval installs the engine so the
+    // chaos counters land in RunResult.
+    cfg.faultPlan.watchdogInterval = 50'000'000;
+
+    System sys(cfg);
+    AttackInjector inject(sys);
+    // Strike early, while the workload has requests in flight: the
+    // violation must quarantine the accelerator without losing any of
+    // them.
+    inject.scheduleAttackAt(50'000, AttackKind::wildWrite,
+                            cfg.physMemBytes - pageSize);
+    RunResult r = sys.run("uniform");
+
+    EXPECT_FALSE(r.hung);
+    EXPECT_GE(r.violations, 1u);
+    EXPECT_GE(r.quarantines, 1u);
+    EXPECT_EQ(r.kills, 0u);
+    EXPECT_EQ(r.unsafeWrites, 0u);
+    EXPECT_EQ(inject.blocked(), 1u);
+    EXPECT_EQ(inject.unblocked(), 0u);
+
+    ASSERT_GE(sys.kernel().recoveries().size(), 1u);
+    const RecoveryRecord &rec = sys.kernel().recoveries().front();
+    EXPECT_EQ(rec.paddr, cfg.physMemBytes - pageSize);
+    EXPECT_TRUE(rec.wasWrite);
+    EXPECT_GT(rec.end, rec.begin);
+    EXPECT_EQ(sys.packetPool().inFlight(), 0u);
+}
+
+namespace {
+
+struct KillFixture : public ::testing::Test {
+    EventQueue eq;
+    BackingStore store{256ULL * 1024 * 1024};
+    Kernel kernel{eq, "kernel", store, []() {
+                      Kernel::Params p;
+                      p.killOnViolation = true;
+                      return p;
+                  }()};
+    Dram dram{eq, "mem", store, Dram::Params{}};
+    BorderControl bc{eq, "bc", BorderControl::Params{}, dram};
+
+    void
+    SetUp() override
+    {
+        kernel.attachAccelerator(nullptr, &bc, nullptr);
+    }
+};
+
+} // namespace
+
+TEST_F(KillFixture, KillOnViolationUnschedulesOnlyTheOffender)
+{
+    Process &attacker = kernel.createProcess();
+    Process &victim = kernel.createProcess();
+    kernel.scheduleOnAccelerator(attacker);
+    kernel.scheduleOnAccelerator(victim);
+    bc.onTranslation(victim.asid(), 0x40, 10, Perms::readWrite(), false);
+
+    Packet pkt;
+    pkt.cmd = MemCmd::Write;
+    pkt.paddr = 0xbad000;
+    pkt.asid = attacker.asid();
+    kernel.onViolation(pkt);
+    eq.run();
+
+    EXPECT_EQ(kernel.kills(), 1u);
+    EXPECT_FALSE(kernel.accelRunning(attacker.asid()));
+    EXPECT_TRUE(kernel.accelRunning(victim.asid()));
+    // Revocation is whole-table (merged permissions, §3.1.1): the
+    // survivor's grants are gone too and refill lazily.
+    ASSERT_NE(bc.table(), nullptr);
+    EXPECT_TRUE(bc.table()->getPerms(10).none());
+    EXPECT_EQ(bc.useCount(), 1u);
+}
+
+TEST_F(KillFixture, ReleasingAKilledProcessStillCompletes)
+{
+    Process &p = kernel.createProcess();
+    kernel.scheduleOnAccelerator(p);
+
+    Packet pkt;
+    pkt.cmd = MemCmd::Write;
+    pkt.paddr = 0xbad000;
+    pkt.asid = p.asid();
+    kernel.onViolation(pkt);
+    EXPECT_FALSE(kernel.accelRunning(p.asid()));
+    EXPECT_EQ(bc.table(), nullptr);
+
+    // The workload teardown path still runs: release must not wedge or
+    // panic on the already-killed process.
+    bool released = false;
+    kernel.releaseAccelerator(p, [&]() { released = true; });
+    eq.run();
+    EXPECT_TRUE(released);
+}
+
+TEST_F(KillFixture, WildViolationWithoutAsidKillsNobody)
+{
+    Process &p = kernel.createProcess();
+    kernel.scheduleOnAccelerator(p);
+
+    Packet pkt;
+    pkt.cmd = MemCmd::Write;
+    pkt.paddr = 0xbad000;
+    pkt.asid = 0;
+    kernel.onViolation(pkt);
+
+    EXPECT_EQ(kernel.kills(), 0u);
+    EXPECT_TRUE(kernel.accelRunning(p.asid()));
+    EXPECT_EQ(kernel.violations().size(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// FaultOverhead: the zero-cost contract behind compiling the hooks in.
+// Backs the `perf_fault_overhead` ctest.
+
+TEST(FaultOverhead, InactivePlanRunsAreBitIdentical)
+{
+    RunResult first;
+    std::uint64_t first_events = 0;
+    for (int i = 0; i < 2; ++i) {
+        System sys(chaosConfig());
+        EXPECT_EQ(sys.faultEngine(), nullptr);
+        EXPECT_EQ(sys.watchdog(), nullptr);
+        RunResult r = sys.run("uniform");
+        if (i == 0) {
+            first = r;
+            first_events = sys.eventQueue().eventsProcessed();
+            continue;
+        }
+        EXPECT_EQ(r.runtimeTicks, first.runtimeTicks);
+        EXPECT_EQ(r.gpuCycles, first.gpuCycles);
+        EXPECT_EQ(r.memOps, first.memOps);
+        EXPECT_EQ(r.translations, first.translations);
+        EXPECT_EQ(sys.eventQueue().eventsProcessed(), first_events);
+    }
+}
+
+TEST(FaultOverhead, ZeroRateEngineChangesNoSimulatedResult)
+{
+    System off(chaosConfig());
+
+    SystemConfig armed = chaosConfig();
+    armed.faultPlan.rules = {Rule{Point::dramResponse, Kind::drop, 0.0}};
+    armed.faultPlan.watchdogInterval = 50'000'000;
+    System on(armed);
+    ASSERT_NE(on.faultEngine(), nullptr);
+    ASSERT_NE(on.watchdog(), nullptr);
+
+    RunResult r_off = off.run("uniform");
+    RunResult r_on = on.run("uniform");
+
+    // A rate-0 rule draws from the engine's private stream only: every
+    // simulated result stays bit-identical to the unhooked run.
+    EXPECT_EQ(r_on.runtimeTicks, r_off.runtimeTicks);
+    EXPECT_EQ(r_on.memOps, r_off.memOps);
+    EXPECT_EQ(r_on.translations, r_off.translations);
+    EXPECT_EQ(r_on.pageWalks, r_off.pageWalks);
+    EXPECT_EQ(r_on.violations, r_off.violations);
+    EXPECT_EQ(r_on.dramBytes, r_off.dramBytes);
+    EXPECT_EQ(r_on.faultsInjected, 0u);
+    EXPECT_FALSE(r_on.hung);
+}

@@ -109,6 +109,10 @@ const RuleInfo kRules[] = {
      "no printf-family or std::cout/cerr/clog in src/: the library "
      "runs under parallel sweeps and tests; use sim/logging.hh or "
      "write to a caller-supplied std::ostream"},
+    {"unseeded-random",
+     "no std::<random> engines (mt19937, minstd_rand, ...) in src/: "
+     "all randomness flows through the explicitly seeded "
+     "bctrl::Random so chaos and sweep runs replay exactly"},
 };
 
 bool
@@ -316,6 +320,11 @@ patternRules()
             "raw console I/O in library code; use warn()/inform()/"
             "panic() from sim/logging.hh, or take an std::ostream "
             "parameter so callers choose the sink");
+        add("unseeded-random",
+            R"(\b(mt19937(_64)?|minstd_rand0?|default_random_engine|ranlux(24|48)(_base)?|knuth_b)\b)",
+            "std::<random> engine in simulation code; draw from the "
+            "seeded bctrl::Random (sim/random.hh) so every run is "
+            "replayable from its seed");
         return r;
     }();
     return rules;
@@ -359,6 +368,13 @@ ruleAppliesToPath(const SourceFile &sf, const std::string &rule)
         // The simulation library must tolerate concurrent Systems
         // (sweep engine); drivers and tests own their process.
         return startsWith(sf.relPath, "src/");
+    }
+    if (rule == "unseeded-random") {
+        // The one sanctioned generator lives in sim/random.hh; tools
+        // and tests may use std engines for host-side shuffling.
+        return startsWith(sf.relPath, "src/") &&
+               sf.relPath != "src/sim/random.hh" &&
+               sf.relPath != "src/sim/random.cc";
     }
     return true;
 }

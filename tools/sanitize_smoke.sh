@@ -27,12 +27,16 @@ cmake -S "$src" -B "$build" \
       -DBCTRL_WERROR=ON
 
 echo "== build =="
-cmake --build "$build" --target bctrl_tests bctrl-sim -j "$jobs"
+cmake --build "$build" --target bctrl_tests bctrl-sim bctrl_chaos -j "$jobs"
 
 echo "== unit tests under ASan+UBSan =="
 "$build/tests/bctrl_tests" --gtest_brief=1
 
 echo "== micro workload under ASan+UBSan =="
 "$build/tools/bctrl-sim" --workload uniform --safety bc-bcc --scale 1
+
+echo "== chaos campaign under ASan+UBSan =="
+"$build/tools/bctrl_chaos" --seeds 2 --safety bc-bcc,ats-only --quiet \
+    --out "$build/BENCH_chaos_asan.json"
 
 echo "sanitize smoke: clean"
