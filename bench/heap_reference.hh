@@ -1,0 +1,173 @@
+/**
+ * @file
+ * A faithful replica of the pre-ladder EventQueue (the binary-heap
+ * design this repo's first six PRs ran on; see git history of
+ * sim/event_queue.{hh,cc}), kept as the micro_eventloop oracle.
+ *
+ * Same entry layout (40 bytes: tick, priority, sequence, event
+ * pointer, owned flag), same three-field heap comparator, same
+ * per-event bookkeeping (no-double-schedule and time-ran-backwards
+ * checks, scheduled/squashed flags, live/processed counters, virtual
+ * dispatch). The only thing the benchmark varies between this and the
+ * production queue is the container + dispatch strategy, so the
+ * measured ratio is the ladder's doing, not harness skew.
+ *
+ * Deliberately not the production class: it must stay frozen as the
+ * baseline while sim/event_queue.hh keeps evolving.
+ */
+
+#ifndef BCTRL_BENCH_HEAP_REFERENCE_HH
+#define BCTRL_BENCH_HEAP_REFERENCE_HH
+
+#include <cstdint>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace benchref {
+
+using bctrl::Tick;
+using bctrl::tickNever;
+
+class HeapQueue;
+
+/** The seed Event base: same fields, same friend-queue access. */
+class Event
+{
+  public:
+    explicit Event(int priority = 0) : priority_(priority) {}
+    virtual ~Event() = default;
+
+    Event(const Event &) = delete;
+    Event &operator=(const Event &) = delete;
+
+    virtual void process() = 0;
+    virtual std::string name() const { return "event"; }
+
+    bool scheduled() const { return scheduled_; }
+    Tick when() const { return when_; }
+    int priority() const { return priority_; }
+
+  private:
+    friend class HeapQueue;
+
+    int priority_;
+    bool scheduled_ = false;
+    bool squashed_ = false;
+    Tick when_ = 0;
+    std::uint64_t sequence_ = 0;
+};
+
+/** The seed queue: one std::priority_queue over 40-byte entries. */
+class HeapQueue
+{
+  public:
+    HeapQueue()
+    {
+        std::vector<Entry> storage;
+        storage.reserve(1024);
+        heap_ = std::priority_queue<Entry, std::vector<Entry>,
+                                    EntryCompare>(EntryCompare{},
+                                                  std::move(storage));
+    }
+
+    Tick curTick() const { return curTick_; }
+    std::uint64_t eventsProcessed() const { return processed_; }
+    bool empty() const { return liveEvents_ == 0; }
+
+    void
+    schedule(Event *ev, Tick when)
+    {
+        panic_if(ev->scheduled_, "event '%s' is already scheduled",
+                 ev->name().c_str());
+        panic_if(when < curTick_,
+                 "scheduling event '%s' in the past (%llu < %llu)",
+                 ev->name().c_str(), (unsigned long long)when,
+                 (unsigned long long)curTick_);
+        ev->scheduled_ = true;
+        ev->squashed_ = false;
+        ev->when_ = when;
+        ev->sequence_ = nextSequence_++;
+        heap_.push(Entry{when, ev->priority(), ev->sequence_, ev,
+                         false});
+        ++liveEvents_;
+    }
+
+    void
+    deschedule(Event *ev)
+    {
+        panic_if(!ev->scheduled_, "descheduling unscheduled event '%s'",
+                 ev->name().c_str());
+        ev->scheduled_ = false;
+        ev->squashed_ = true;
+        --liveEvents_;
+    }
+
+    bool
+    step()
+    {
+        while (!heap_.empty()) {
+            const Entry e = heap_.top();
+            heap_.pop();
+            Event *ev = e.event;
+            if (ev->squashed_ && ev->sequence_ == e.sequence) {
+                ev->squashed_ = false;
+                continue;
+            }
+            if (!ev->scheduled_ || ev->sequence_ != e.sequence)
+                continue; // superseded by a reschedule
+            panic_if(e.when < curTick_, "event time ran backwards");
+            curTick_ = e.when;
+            ev->scheduled_ = false;
+            --liveEvents_;
+            ++processed_;
+            ev->process();
+            return true;
+        }
+        return false;
+    }
+
+    Tick
+    run()
+    {
+        while (step()) {
+        }
+        return curTick_;
+    }
+
+  private:
+    struct Entry {
+        Tick when;
+        int priority;
+        std::uint64_t sequence;
+        Event *event;
+        /** Always false here (the bench never schedules lambdas);
+         * kept so the entry is the seed's exact 40-byte layout. */
+        bool ownedLambda;
+    };
+
+    struct EntryCompare {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            if (a.priority != b.priority)
+                return a.priority > b.priority;
+            return a.sequence > b.sequence;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, EntryCompare> heap_;
+    Tick curTick_ = 0;
+    std::uint64_t nextSequence_ = 0;
+    std::uint64_t liveEvents_ = 0;
+    std::uint64_t processed_ = 0;
+};
+
+} // namespace benchref
+
+#endif // BCTRL_BENCH_HEAP_REFERENCE_HH

@@ -1,0 +1,369 @@
+/**
+ * @file
+ * Event-loop throughput microbenchmark: how many events per second
+ * the queue core can dispatch when events are nearly free, isolating
+ * scheduler cost from component simulation cost.
+ *
+ * Four modes, one synthetic workload (self-rescheduling event chains
+ * whose tick deltas follow the simulator's measured mix: mostly a few
+ * GPU cycles ahead, a tail of long timers):
+ *
+ *   serial_heap    - the pre-ladder binary-heap EventQueue, replicated
+ *                    in heap_reference.hh and driven through the same
+ *                    Event API (virtual dispatch, schedule checks), as
+ *                    the oracle for both order and throughput
+ *   ladder         - EventQueue via the bounded run() path (per-event
+ *                    horizon compare, no batching)
+ *   ladder_batched - EventQueue via run() unbounded, the production
+ *                    System::run() path
+ *   sharded        - three EventQueue shards + ParallelLoop, chains
+ *                    round-robined across domains so every hop
+ *                    crosses a mailbox
+ *
+ * Every mode must visit exactly the same (tick, chain) trajectory;
+ * the harness cross-checks a running checksum so a future queue
+ * change that reorders events fails here before it fails a sweep.
+ * Results go to stdout and optionally a JSON trajectory file
+ * (BENCH_eventloop.json in the repo root records the committed run).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+#include "heap_reference.hh"
+#include "sim/event_queue.hh"
+#include "sim/parallel_loop.hh"
+
+using namespace bctrl;
+using bench::formatDouble;
+
+namespace {
+
+/** Deterministic xorshift, shared by every mode. */
+struct Rng {
+    std::uint64_t x;
+    explicit Rng(std::uint64_t seed) : x(seed | 1) {}
+    std::uint64_t
+    next()
+    {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        return x;
+    }
+};
+
+/**
+ * The simulator's delta mix (ticks are picoseconds, GPU cycle 1429):
+ * mostly short in-window and few-bucket hops, occasionally a long
+ * timer that spills to the overflow heap / far calendar buckets.
+ */
+Tick
+nextDelta(Rng &rng)
+{
+    const std::uint64_t r = rng.next();
+    const std::uint64_t pick = r % 100;
+    if (pick < 45)
+        return 1'429 + r % 2'858; // 1-3 GPU cycles
+    if (pick < 85)
+        return 4'000 + r % 25'000; // a few buckets ahead
+    if (pick < 98)
+        return 30'000 + r % 250'000; // deep in the ladder
+    return 2'000'000 + r % 3'000'000; // past the ladder span
+}
+
+struct ChurnSpec {
+    int chains = 256;
+    std::uint64_t hopsPerChain = 40'000;
+    std::uint64_t totalEvents() const
+    {
+        return static_cast<std::uint64_t>(chains) * hopsPerChain;
+    }
+};
+
+/** Order-sensitive checksum over the (tick, chain) visit sequence. */
+struct Check {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    void
+    visit(Tick when, int chain)
+    {
+        h ^= when + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+        h ^= static_cast<std::uint64_t>(chain);
+    }
+};
+
+struct Result {
+    double seconds = 0;
+    std::uint64_t events = 0;
+    std::uint64_t checksum = 0;
+    double
+    eventsPerSec() const
+    {
+        return seconds > 0 ? static_cast<double>(events) / seconds : 0;
+    }
+};
+
+// Host-side wall-clock measurement (never feeds simulated state).
+// bclint:allow(nondeterminism)
+using BenchClock = std::chrono::steady_clock;
+
+/**
+ * A self-rescheduling chain event. Each hop schedules the next one
+ * into the next queue of @p queues (one queue in the serial modes;
+ * the three domain shards in sharded mode, so every hop crosses a
+ * mailbox). Templated over the queue/event types so the identical
+ * workload — rng advance, checksum, virtual dispatch — runs through
+ * both the production EventQueue and the benchref::HeapQueue oracle.
+ */
+template <class Queue, class EventBase>
+class ChainEventT : public EventBase
+{
+  public:
+    ChainEventT(Queue *const *queues, std::size_t nqueues, Rng rng,
+                std::uint64_t hops, int chain, Check &check)
+        : queues_(queues), nqueues_(nqueues), slot_(chain % nqueues),
+          rng_(rng), hopsLeft_(hops), chain_(chain), check_(check)
+    {}
+
+    /** The queue the first hop belongs to. */
+    Queue &homeQueue() { return *queues_[slot_]; }
+
+    void
+    process() override
+    {
+        Queue &cur = *queues_[slot_];
+        check_.visit(cur.curTick(), chain_);
+        if (--hopsLeft_ > 0) {
+            slot_ = (slot_ + 1) % nqueues_;
+            queues_[slot_]->schedule(this,
+                                     cur.curTick() + nextDelta(rng_));
+        }
+    }
+
+    std::string name() const override { return "chain-event"; }
+
+  private:
+    Queue *const *queues_;
+    std::size_t nqueues_;
+    std::size_t slot_;
+    Rng rng_;
+    std::uint64_t hopsLeft_;
+    int chain_;
+    Check &check_;
+};
+
+using ChainEvent = ChainEventT<EventQueue, Event>;
+using RefChainEvent = ChainEventT<benchref::HeapQueue, benchref::Event>;
+
+/** Reference mode: the pre-ladder heap design (heap_reference.hh). */
+Result
+runHeapReference(const ChurnSpec &w)
+{
+    benchref::HeapQueue hq;
+    benchref::HeapQueue *queues[1] = {&hq};
+    Check check;
+    std::vector<std::unique_ptr<RefChainEvent>> chains;
+    for (int c = 0; c < w.chains; ++c) {
+        Rng rng(0x1000 + c);
+        const Tick first = nextDelta(rng);
+        chains.push_back(std::make_unique<RefChainEvent>(
+            queues, 1, rng, w.hopsPerChain, c, check));
+        hq.schedule(chains.back().get(), first);
+    }
+
+    Result res;
+    const auto start = BenchClock::now();
+    hq.run();
+    const std::chrono::duration<double> el = BenchClock::now() - start;
+    res.seconds = el.count();
+    res.events = hq.eventsProcessed();
+    res.checksum = check.h;
+    return res;
+}
+
+/**
+ * EventQueue modes. @p batched picks run() unbounded (the batched
+ * production path) vs. a bounded run (per-event horizon compares).
+ */
+Result
+runLadder(const ChurnSpec &w, bool batched)
+{
+    EventQueue eq;
+    EventQueue *queues[1] = {&eq};
+    Check check;
+    std::vector<std::unique_ptr<ChainEvent>> chains;
+    for (int c = 0; c < w.chains; ++c) {
+        Rng rng(0x1000 + c);
+        const Tick first = nextDelta(rng);
+        chains.push_back(std::make_unique<ChainEvent>(
+            queues, 1, rng, w.hopsPerChain, c, check));
+        eq.schedule(chains.back().get(), first);
+    }
+
+    Result res;
+    const auto start = BenchClock::now();
+    if (batched) {
+        eq.run();
+    } else {
+        // step() dispatches one event per call: the full peek/pop
+        // path with no batched bucket drain.
+        while (eq.step()) {
+        }
+    }
+    const std::chrono::duration<double> el = BenchClock::now() - start;
+    res.seconds = el.count();
+    res.events = eq.eventsProcessed();
+    res.checksum = check.h;
+    return res;
+}
+
+/**
+ * Sharded mode: the same chains spread round-robin over the three
+ * domain queues of a ParallelLoop group, so chain hops constantly
+ * cross shard boundaries through the coordinator's grant protocol.
+ */
+Result
+runSharded(const ChurnSpec &w)
+{
+    EventQueue border(Domain::border);
+    EventQueue gpu(Domain::gpuCluster);
+    EventQueue dram(Domain::dram);
+    ParallelLoop loop(border, gpu, dram);
+    EventQueue *queues[numDomains] = {&border, &gpu, &dram};
+
+    Check check;
+    std::vector<std::unique_ptr<ChainEvent>> chains;
+    for (int c = 0; c < w.chains; ++c) {
+        Rng rng(0x1000 + c);
+        const Tick first = nextDelta(rng);
+        chains.push_back(std::make_unique<ChainEvent>(
+            queues, numDomains, rng, w.hopsPerChain, c, check));
+        chains.back()->homeQueue().schedule(chains.back().get(),
+                                            first);
+    }
+
+    Result res;
+    const auto start = BenchClock::now();
+    loop.run();
+    const std::chrono::duration<double> el = BenchClock::now() - start;
+    res.seconds = el.count();
+    res.events = border.eventsProcessed();
+    res.checksum = check.h;
+    return res;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ChurnSpec w;
+    std::string out_path;
+    int repeat = 1;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--out" && i + 1 < argc) {
+            out_path = argv[++i];
+        } else if (arg == "--chains" && i + 1 < argc) {
+            w.chains = std::atoi(argv[++i]);
+        } else if (arg == "--hops" && i + 1 < argc) {
+            w.hopsPerChain = std::strtoull(argv[++i], nullptr, 0);
+        } else if (arg == "--best" && i + 1 < argc) {
+            repeat = std::atoi(argv[++i]);
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--chains N] [--hops N] "
+                         "[--best N] [--out FILE]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+    if (repeat < 1)
+        repeat = 1;
+
+    // Best-of-N wall clock: the box may be shared, and the fastest
+    // repeat is the closest estimate of uncontended throughput. A
+    // repeat whose trajectory diverges is kept so the oracle check
+    // below reports it.
+    const auto bestOf = [repeat](auto fn) {
+        Result best = fn();
+        for (int i = 1; i < repeat; ++i) {
+            const Result r = fn();
+            if (r.checksum != best.checksum || r.events != best.events)
+                return r;
+            if (r.seconds < best.seconds)
+                best = r;
+        }
+        return best;
+    };
+
+    struct Mode {
+        const char *name;
+        Result r;
+    };
+    Mode modes[] = {
+        {"serial_heap", bestOf([&] { return runHeapReference(w); })},
+        {"ladder", bestOf([&] { return runLadder(w, false); })},
+        {"ladder_batched", bestOf([&] { return runLadder(w, true); })},
+        {"sharded", bestOf([&] { return runSharded(w); })},
+    };
+
+    // The ladder modes must visit the identical trajectory the heap
+    // oracle does. (The sharded trajectory is also identical: the
+    // strict-order grant protocol reproduces the serial order.)
+    const std::uint64_t want = modes[0].r.checksum;
+    for (const Mode &m : modes) {
+        if (m.r.checksum != want || m.r.events != w.totalEvents()) {
+            std::fprintf(stderr,
+                         "FAIL: mode %s diverged from the heap oracle "
+                         "(events %llu/%llu, checksum %llx vs %llx)\n",
+                         m.name, (unsigned long long)m.r.events,
+                         (unsigned long long)w.totalEvents(),
+                         (unsigned long long)m.r.checksum,
+                         (unsigned long long)want);
+            return 1;
+        }
+    }
+
+    const double heap_rate = modes[0].r.eventsPerSec();
+    std::printf("%-15s %12s %12s %9s\n", "mode", "events", "events/s",
+                "vs heap");
+    for (const Mode &m : modes) {
+        std::printf("%-15s %12llu %12.0f %8.2fx\n", m.name,
+                    (unsigned long long)m.r.events, m.r.eventsPerSec(),
+                    heap_rate > 0 ? m.r.eventsPerSec() / heap_rate : 0);
+    }
+
+    if (!out_path.empty()) {
+        std::FILE *f = std::fopen(out_path.c_str(), "w");
+        if (f == nullptr) {
+            std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+            return 1;
+        }
+        std::fprintf(f, "{\n  \"schema\": \"bctrl-eventloop-v1\",\n");
+        std::fprintf(f, "  \"chains\": %d,\n  \"hops\": %llu,\n",
+                     w.chains, (unsigned long long)w.hopsPerChain);
+        std::fprintf(f, "  \"modes\": {\n");
+        for (std::size_t i = 0; i < 4; ++i) {
+            const Mode &m = modes[i];
+            std::fprintf(
+                f,
+                "    \"%s\": {\"events\": %llu, \"seconds\": %s, "
+                "\"events_per_sec\": %s}%s\n",
+                m.name, (unsigned long long)m.r.events,
+                formatDouble(m.r.seconds).c_str(),
+                formatDouble(m.r.eventsPerSec()).c_str(),
+                i + 1 < 4 ? "," : "");
+        }
+        std::fprintf(f, "  }\n}\n");
+        std::fclose(f);
+        std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+    }
+    return 0;
+}

@@ -31,6 +31,17 @@ System::System(const SystemConfig &config)
         }
     }
 
+    // Shard queues must form their group while everything is empty,
+    // before any component can schedule. Components then bind to their
+    // domain's queue via queueFor(); in serial mode they all share the
+    // primary.
+    if (config_.parallelLoop) {
+        gpuQueue_ = std::make_unique<EventQueue>(Domain::gpuCluster);
+        dramQueue_ = std::make_unique<EventQueue>(Domain::dram);
+        loop_ = std::make_unique<ParallelLoop>(eventQueue_, *gpuQueue_,
+                                               *dramQueue_);
+    }
+
     store_ = std::make_unique<BackingStore>(config_.physMemBytes);
 
     // Host-side allocation profile: how allocation-free the hot request
@@ -76,8 +87,8 @@ System::System(const SystemConfig &config)
     Dram::Params dram_params;
     dram_params.accessLatency = config_.dramAccessLatency;
     dram_params.bytesPerSecond = config_.memBandwidthBytesPerSec;
-    dram_ = std::make_unique<Dram>(eventQueue_, "system.mem", *store_,
-                                   dram_params);
+    dram_ = std::make_unique<Dram>(queueFor(Domain::dram), "system.mem",
+                                   *store_, dram_params);
 
     coherence_ = std::make_unique<CoherencePoint>(
         eventQueue_, "system.coherence", *dram_,
@@ -230,8 +241,9 @@ System::System(const SystemConfig &config)
       }
     }
 
-    gpu_ = std::make_unique<Gpu>(eventQueue_, "system.gpu", gpu_params,
-                                 *ats_, *gpu_mem_path, &packetPool_);
+    gpu_ = std::make_unique<Gpu>(queueFor(Domain::gpuCluster),
+                                 "system.gpu", gpu_params, *ats_,
+                                 *gpu_mem_path, &packetPool_);
 
     if (gpu_->l2Cache() != nullptr)
         coherence_->setAccelCache(gpu_->l2Cache());
@@ -266,6 +278,31 @@ System::System(const SystemConfig &config)
 }
 
 System::~System() = default;
+
+EventQueue &
+System::queueFor(Domain d)
+{
+    if (!config_.parallelLoop)
+        return eventQueue_;
+    switch (d) {
+      case Domain::gpuCluster:
+        return *gpuQueue_;
+      case Domain::dram:
+        return *dramQueue_;
+      case Domain::border:
+        break;
+    }
+    return eventQueue_;
+}
+
+void
+System::runLoop()
+{
+    if (loop_)
+        loop_->run();
+    else
+        eventQueue_.run();
+}
 
 MemDevice &
 System::borderDevice()
@@ -340,7 +377,7 @@ System::run(Workload &workload, Process &proc)
         watchdog_->setDoneProbe([&finished]() { return finished; });
         watchdog_->arm();
     }
-    eventQueue_.run();
+    runLoop();
     if (watchdog_)
         watchdog_->setDoneProbe(nullptr);
 
@@ -356,7 +393,7 @@ System::run(Workload &workload, Process &proc)
         if (watchdog_)
             watchdog_->disarm();
         faultEngine_->releaseDropped(eventQueue_);
-        eventQueue_.run();
+        runLoop();
     }
     panic_if(!finished && !hung,
              "event queue drained before kernel completion");
@@ -368,7 +405,7 @@ System::run(Workload &workload, Process &proc)
 
     bool released = false;
     kernel_->releaseAccelerator(proc, [&released]() { released = true; });
-    eventQueue_.run();
+    runLoop();
     panic_if(!released, "accelerator release did not complete");
 
     return collect(workload.name(), runtime, mem_ops, hung);

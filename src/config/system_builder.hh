@@ -25,6 +25,7 @@
 #include "mem/packet_pool.hh"
 #include "os/kernel.hh"
 #include "sim/fault.hh"
+#include "sim/parallel_loop.hh"
 #include "sim/host_profiler.hh"
 #include "sim/stats.hh"
 #include "sim/trace.hh"
@@ -58,6 +59,15 @@ class System
     /// @{
     const SystemConfig &config() const { return config_; }
     EventQueue &eventQueue() { return eventQueue_; }
+    /**
+     * The queue components of @p d schedule into: the primary
+     * eventQueue_ in serial mode, the domain's shard queue when
+     * config.parallelLoop is set. Counters and curTick() read the
+     * same either way (shard queues delegate to the primary).
+     */
+    EventQueue &queueFor(Domain d);
+    /** Null unless config.parallelLoop. */
+    ParallelLoop *parallelLoop() { return loop_.get(); }
     PacketPool &packetPool() { return packetPool_; }
     BackingStore &memory() { return *store_; }
     Dram &dram() { return *dram_; }
@@ -111,8 +121,19 @@ class System
                       std::uint64_t mem_ops, bool hung) const;
     void startDowngradeInjector(Process &proc, const bool *finished);
 
+    /** Drain the event loop: serial run() or the sharded loop. */
+    void runLoop();
+
     SystemConfig config_;
     EventQueue eventQueue_;
+    /**
+     * Shard queues of the parallel loop (null in serial mode).
+     * Declared right after the primary so they outlive every
+     * component but are destroyed before the primary they delegate
+     * their counters to.
+     */
+    std::unique_ptr<EventQueue> gpuQueue_;
+    std::unique_ptr<EventQueue> dramQueue_;
     /**
      * Declared before every component so it outlives them: packets can
      * still be released into the pool while components tear down.
@@ -151,6 +172,11 @@ class System
     std::unique_ptr<Cache> capiL2_;
     std::unique_ptr<IommuFrontend> iommuFrontend_;
     std::unique_ptr<Gpu> gpu_;
+    /**
+     * Sharded-loop coordinator (null in serial mode). Last member:
+     * its worker threads are joined before anything else tears down.
+     */
+    std::unique_ptr<ParallelLoop> loop_;
 };
 
 } // namespace bctrl

@@ -135,6 +135,14 @@ struct SystemConfig {
     bool hostProfile = false;
     /// @}
 
+    /**
+     * Drive the run with the domain-sharded parallel event loop (GPU
+     * cluster / border / DRAM shards on their own threads; see
+     * sim/parallel_loop.hh) instead of the serial loop. Results are
+     * bit-identical to the serial loop by construction.
+     */
+    bool parallelLoop = false;
+
     /** Derived: GPU clock period in ticks. */
     Tick gpuPeriod() const { return periodFromFrequency(gpuFreqHz); }
     Tick cpuPeriod() const { return periodFromFrequency(cpuFreqHz); }

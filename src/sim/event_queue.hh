@@ -5,12 +5,27 @@
  * Events are ordered by (tick, priority, insertion sequence); equal-tick
  * events therefore execute in a deterministic order, which keeps every
  * simulation reproducible for a given seed and configuration.
+ *
+ * Storage is a tick-bucketed ladder (calendar) queue rather than a
+ * single binary heap: the near-horizon ticks that dominate simulation
+ * traffic get O(1) amortized insert and batched, comparison-free
+ * dispatch, while far-future events (watchdog timers, attack
+ * injectors) spill to a small fallback heap. See DESIGN.md §14 for the
+ * bucket geometry and the proof sketch that the ladder preserves the
+ * exact (tick, priority, sequence) order of the classic heap.
+ *
+ * In the domain-sharded parallel loop (sim/parallel_loop.hh) several
+ * EventQueues form a shard group: each holds its own ladder but
+ * delegates the global clock, sequence counter, and bookkeeping to a
+ * primary queue, and cross-thread schedules travel through SPSC
+ * mailboxes. A solo queue pays one predictable branch for this hook.
  */
 
 #ifndef BCTRL_SIM_EVENT_QUEUE_HH
 #define BCTRL_SIM_EVENT_QUEUE_HH
 
 #include <cstdint>
+#include <memory>
 #include <queue>
 #include <string>
 #include <utility>
@@ -18,12 +33,14 @@
 
 #include "sim/inline_function.hh"
 #include "sim/logging.hh"
+#include "sim/mailbox.hh"
 #include "sim/types.hh"
 
 namespace bctrl {
 
 class EventQueue;
 class HostProfiler;
+class ParallelLoop;
 
 namespace trace {
 class Tracer;
@@ -50,8 +67,8 @@ using LambdaFn = InlineFunction<void(), lambdaCallbackCapacity>;
  * Base class for all schedulable events.
  *
  * An Event is owned by whoever constructed it. The queue never deletes
- * events; descheduling is implemented by squashing so the heap does not
- * need random removal.
+ * events; descheduling is implemented by squashing so the ladder does
+ * not need random removal.
  */
 class Event
 {
@@ -104,18 +121,20 @@ class Event
     bool scheduled_ = false;
     bool squashed_ = false;
     Tick when_ = 0;
+    /** Packed (priority, sequence, owned) word of the current
+     * incarnation's ladder entry; see EventQueue::Entry. */
     std::uint64_t sequence_ = 0;
 };
 
 /**
  * An Event wrapping an inline callable, for one-off callbacks.
  *
- * Unlike plain Event the queue owns a LambdaEvent: after it fires (or
- * when a squashed instance is popped) the queue recycles it through a
- * free-list pool, so callers can schedule and forget without paying a
- * heap allocation per callback on the simulation's hottest path. The
- * callback itself is a fixed-capacity LambdaFn, so captures that fit
- * lambdaCallbackCapacity never touch the heap either.
+ * Unlike plain Event the queue owns a LambdaEvent: after it fires the
+ * queue recycles it through a free-list pool, so callers can schedule
+ * and forget without paying a heap allocation per callback on the
+ * simulation's hottest path. The callback itself is a fixed-capacity
+ * LambdaFn, so captures that fit lambdaCallbackCapacity never touch
+ * the heap either.
  */
 class LambdaEvent : public Event
 {
@@ -146,19 +165,43 @@ class LambdaEvent : public Event
 
 /**
  * The discrete-event queue. One instance drives an entire simulated
- * system; components hold a reference to it.
+ * system (serial mode), or one component domain of it (shard mode;
+ * see sim/parallel_loop.hh); components hold a reference to it.
  */
 class EventQueue
 {
   public:
-    EventQueue();
+    /**
+     * Global execution order of a scheduled entry: (tick, packed
+     * priority+sequence). Keys are unique (the sequence number is
+     * never reused), so they impose a total order across every shard
+     * of a group. The default-constructed key is the +infinity
+     * sentinel (sorts after every real key).
+     */
+    struct OrderKey {
+        Tick when = tickNever;
+        std::uint64_t prioSeq = ~std::uint64_t(0);
+
+        bool
+        operator<(const OrderKey &o) const
+        {
+            if (when != o.when)
+                return when < o.when;
+            return prioSeq < o.prioSeq;
+        }
+    };
+
+    explicit EventQueue(Domain domain = Domain::border);
     ~EventQueue();
 
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
 
-    /** Current simulated time in ticks. */
-    Tick curTick() const { return curTick_; }
+    /** The component domain this queue drives (border when solo). */
+    Domain domain() const { return domain_; }
+
+    /** Current simulated time in ticks (group-global in shard mode). */
+    Tick curTick() const { return primary_->curTick_; }
 
     /** Schedule @p ev to fire at absolute tick @p when (>= curTick). */
     void schedule(Event *ev, Tick when);
@@ -178,11 +221,11 @@ class EventQueue
     void scheduleLambda(LambdaFn fn, Tick when,
                         int priority = Event::defaultPriority);
 
-    /** @return true if no runnable events remain. */
-    bool empty() const { return liveEvents_ == 0; }
+    /** @return true if no runnable events remain (group-global). */
+    bool empty() const { return primary_->liveEvents_ == 0; }
 
-    /** Number of live (non-squashed) events. */
-    std::uint64_t size() const { return liveEvents_; }
+    /** Number of live (non-squashed) events (group-global). */
+    std::uint64_t size() const { return primary_->liveEvents_; }
 
     /**
      * Run until the queue drains or @p maxTick passes.
@@ -196,24 +239,44 @@ class EventQueue
      */
     bool step();
 
-    /** Total events processed since construction. */
-    std::uint64_t eventsProcessed() const { return processed_; }
+    /** Total events processed since construction (group-global). */
+    std::uint64_t eventsProcessed() const { return primary_->processed_; }
 
     /**
      * LambdaEvents heap-allocated since construction. With the
      * free-list pool this stays near the peak number of in-flight
      * lambdas rather than growing with every scheduleLambda() call.
      */
-    std::uint64_t lambdaAllocations() const { return lambdaAllocs_; }
+    std::uint64_t lambdaAllocations() const
+    {
+        return primary_->lambdaAllocs_;
+    }
 
     /** LambdaEvents currently parked in the free-list pool. */
-    std::size_t lambdaPoolSize() const { return lambdaPool_.size(); }
+    std::size_t lambdaPoolSize() const
+    {
+        return primary_->lambdaPool_.size();
+    }
 
     /**
      * Lambda callbacks whose capture exceeded lambdaCallbackCapacity
      * and spilled to the heap. Zero on the steady-state request path.
      */
-    std::uint64_t lambdaSpills() const { return lambdaSpills_; }
+    std::uint64_t lambdaSpills() const { return primary_->lambdaSpills_; }
+
+    /**
+     * Stale (squashed or superseded) entries discarded when their
+     * ladder bucket was drained, before ever reaching the head of the
+     * queue. Without bucket-time purging these would linger until
+     * popped, inflating pending-entry storage on long runs.
+     */
+    std::uint64_t stalePurged() const { return stalePurged_; }
+
+    /**
+     * Entries currently stored in this queue's ladder, including stale
+     * ones not yet purged. Always >= the queue's share of size().
+     */
+    std::uint64_t pendingEntries() const { return totalEntries_; }
 
     /**
      * @name Observability hooks
@@ -223,9 +286,9 @@ class EventQueue
      * simulated state: enabling them is bit-identical on RunResults.
      */
     /// @{
-    trace::Tracer *tracer() const { return tracer_; }
+    trace::Tracer *tracer() const { return primary_->tracer_; }
     void setTracer(trace::Tracer *tracer) { tracer_ = tracer; }
-    HostProfiler *profiler() const { return profiler_; }
+    HostProfiler *profiler() const { return primary_->profiler_; }
     void setProfiler(HostProfiler *profiler) { profiler_ = profiler; }
     /// @}
 
@@ -237,12 +300,15 @@ class EventQueue
      * zero-fault path is bit-identical.
      */
     /// @{
-    fault::FaultEngine *faultEngine() const { return faultEngine_; }
+    fault::FaultEngine *faultEngine() const
+    {
+        return primary_->faultEngine_;
+    }
     void setFaultEngine(fault::FaultEngine *engine)
     {
         faultEngine_ = engine;
     }
-    fault::Watchdog *watchdog() const { return watchdog_; }
+    fault::Watchdog *watchdog() const { return primary_->watchdog_; }
     void setWatchdog(fault::Watchdog *watchdog) { watchdog_ = watchdog; }
 
     /**
@@ -250,58 +316,225 @@ class EventQueue
      * memory-op retirement call this unconditionally (a bare counter
      * increment; no simulated state is touched).
      */
-    void noteProgress() { ++progressMarks_; }
-    std::uint64_t progressMarks() const { return progressMarks_; }
+    void noteProgress() { ++primary_->progressMarks_; }
+    std::uint64_t progressMarks() const
+    {
+        return primary_->progressMarks_;
+    }
 
     /**
      * Ask run() to return after the current event. Cleared on the next
      * run() entry; used by the watchdog to fail fast on a hang.
      */
-    void requestStop() { stopRequested_ = true; }
-    bool stopRequested() const { return stopRequested_; }
+    void requestStop() { primary_->stopRequested_ = true; }
+    bool stopRequested() const { return primary_->stopRequested_; }
     /// @}
 
   private:
+    friend class ParallelLoop;
+
+    /**
+     * A ladder entry: 24 bytes, so bucket traffic stays light. The
+     * intra-tick order (priority, then insertion sequence) and the
+     * queue-owns-this-lambda flag are packed into one 64-bit word:
+     *
+     *   [63:48] priority biased by +2^15 (unsigned compare == the
+     *           signed priority order)
+     *   [47:1]  insertion sequence (unique; 2^47 schedules)
+     *   [0]     ownedLambda
+     *
+     * Because the sequence bits are unique per entry, comparing the
+     * packed word orders by (priority, sequence) and the flag bit
+     * never decides. The event's sequence_ stores the same packed
+     * word, so the is-this-entry-current check is one compare.
+     */
     struct Entry {
         Tick when;
-        int priority;
-        std::uint64_t sequence;
+        std::uint64_t prioSeq;
         Event *event;
-        bool ownedLambda;
+
+        bool ownedLambda() const { return (prioSeq & 1) != 0; }
+        OrderKey key() const { return OrderKey{when, prioSeq}; }
     };
 
-    struct EntryCompare {
+    static std::uint64_t
+    packPrioSeq(int priority, std::uint64_t sequence, bool owned_lambda)
+    {
+        return (static_cast<std::uint64_t>(priority + (1 << 15)) << 48) |
+               (sequence << 1) | (owned_lambda ? 1 : 0);
+    }
+
+    /** "a after b" ordering, so heaps keep the minimum key on top. */
+    struct EntryAfter {
         bool
         operator()(const Entry &a, const Entry &b) const
         {
             if (a.when != b.when)
                 return a.when > b.when;
-            if (a.priority != b.priority)
-                return a.priority > b.priority;
-            return a.sequence > b.sequence;
+            return a.prioSeq > b.prioSeq;
         }
     };
 
-    void push(Event *ev, Tick when, bool owned_lambda);
+    /** "a before b" ordering for sorting a drained bucket. */
+    struct EntryBefore {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when < b.when;
+            return a.prioSeq < b.prioSeq;
+        }
+    };
 
     /**
-     * Pop and execute the next runnable event at or before @p maxTick,
-     * discarding stale (squashed / superseded) entries along the way.
+     * @name Ladder geometry
+     * Buckets are bucketWidth ticks wide (2^bucketBits; ~3 cycles of
+     * the 700 MHz GPU clock) and the ladder spans numBuckets of them
+     * (~2.1 us of simulated time), which covers every steady-state
+     * component latency; only long timers spill to the overflow heap.
+     */
+    /// @{
+    static constexpr unsigned bucketBits = 12;
+    static constexpr Tick bucketWidth = Tick(1) << bucketBits;
+    static constexpr std::size_t numBuckets = 512;
+    static constexpr Tick ladderSpan = bucketWidth * numBuckets;
+    /// @}
+
+    static std::size_t
+    bucketIndexOf(Tick when)
+    {
+        return static_cast<std::size_t>(when >> bucketBits) &
+               (numBuckets - 1);
+    }
+
+    void push(Event *ev, Tick when, bool owned_lambda);
+
+    /** Place a fully formed entry into ladder storage (this thread). */
+    void insertEntry(const Entry &e);
+
+    /** Route a schedule from a foreign shard thread into the mailbox. */
+    void postCross(const Entry &e);
+
+    /** Move all mailbox posts into ladder storage (owner thread only). */
+    void drainMailboxes();
+
+    /**
+     * Load the active bucket into the sorted drain array, discarding
+     * stale (squashed / superseded) entries wholesale.
+     */
+    void loadBucket(std::vector<Entry> &bucket);
+
+    /**
+     * Advance the active window until a nonempty bucket is loaded.
+     * @return false if no entries remain anywhere in this queue.
+     */
+    bool advanceWindow();
+
+    /**
+     * Make the head entry (globally minimal live entry of this queue)
+     * available, discarding stale entries on the way.
+     * @return nullptr if this queue holds no live entries.
+     */
+    const Entry *peekHead();
+
+    /** Remove the current head (after peekHead() returned non-null). */
+    void popHead();
+
+    /** Execute entry @p e (curTick update, profiler wrap, recycle). */
+    void execute(const Entry &e);
+
+    /**
+     * Pop and execute the next runnable event at or before @p maxTick.
      * @return true if an event was executed.
      */
     bool serviceOne(Tick maxTick);
 
+    /**
+     * The head's global order key, draining mailboxes first. Used by
+     * the parallel-loop coordinator; structural only (never executes).
+     * @return false if this queue holds no live entries.
+     */
+    bool headKey(OrderKey &out);
+
+    /**
+     * Execute events in global-key order while the head stays below
+     * both @p bound and the smallest key this thread cross-posted to
+     * another shard during the grant (the conservative rule: a posted
+     * event may be the true global next). Parallel-loop workers only.
+     * @return events executed.
+     */
+    std::uint64_t runGranted(const OrderKey &bound);
+
+    /** Join this queue to @p primary's shard group (empty queues only). */
+    void joinShardGroup(EventQueue *primary);
+
     /** Take a LambdaEvent from the pool (or allocate one) and arm it. */
     LambdaEvent *acquireLambda(LambdaFn fn, int priority);
 
-    /** Return a fired or squashed queue-owned lambda to the pool. */
+    /** Return a fired queue-owned lambda to the pool. */
     void recycleLambda(Event *ev);
 
-    std::priority_queue<Entry, std::vector<Entry>, EntryCompare> heap_;
+    /**
+     * Discard a stale entry: clear the squash mark (and count the
+     * purge) when this entry is the event's current incarnation;
+     * silently drop superseded ones.
+     */
+    void discardStale(const Entry &e);
+
+    Domain domain_;
+
+    /**
+     * Shard-group delegate. Solo queues point at themselves; shard
+     * members point at the group primary, which owns the global clock,
+     * sequence counter, live/processed counts, lambda pool, and the
+     * observability/chaos hook pointers — so a sharded run's counter
+     * trajectory is bit-identical to a serial run's.
+     */
+    EventQueue *primary_;
+
+    /**
+     * Cross-thread schedule mailboxes, one SPSC ring per producer
+     * domain; allocated only in shard mode. A schedule() arriving from
+     * a foreign shard's worker thread is posted here (already
+     * sequenced) and folded into the ladder by the owner.
+     */
+    struct Mailboxes {
+        SpscRing<Entry, crossMailboxCapacity> fromDomain[numDomains];
+    };
+    std::unique_ptr<Mailboxes> mailboxes_;
+
+    /** @name Ladder storage (always per-queue, never delegated) */
+    /// @{
+    /**
+     * Sorted entries of the active bucket, drained by index. Entries
+     * that arrive inside the active window mid-drain (same-tick
+     * follow-ups, response gates) are merged into the pending tail by
+     * binary-search insertion: the tail is small (a bucket holds a few
+     * events), so one memmove beats maintaining a separate heap, and
+     * the dispatch path stays a straight array walk.
+     */
+    std::vector<Entry> drain_;
+    std::size_t drainPos_ = 0;
+    /** Future buckets; entries are appended unordered. */
+    std::vector<std::vector<Entry>> buckets_;
+    /** Entries currently stored in buckets_ (not drain/overlay). */
+    std::uint64_t ladderCount_ = 0;
+    /** End tick (exclusive) of the active window. */
+    Tick activeEnd_ = bucketWidth;
+    /** Index of the active bucket. */
+    std::size_t activeIdx_ = 0;
+    /** Ladder coverage limit: entries at/after this tick overflow. */
+    Tick horizon_ = ladderSpan;
+    /** Far-future fallback heap (watchdogs, attack timers). */
+    std::priority_queue<Entry, std::vector<Entry>, EntryAfter> overflow_;
+    /// @}
+
     Tick curTick_ = 0;
     std::uint64_t nextSequence_ = 0;
     std::uint64_t liveEvents_ = 0;
     std::uint64_t processed_ = 0;
+    std::uint64_t totalEntries_ = 0;
+    std::uint64_t stalePurged_ = 0;
     std::vector<LambdaEvent *> lambdaPool_;
     std::uint64_t lambdaAllocs_ = 0;
     std::uint64_t lambdaSpills_ = 0;

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * A fixed-capacity single-producer / single-consumer ring buffer, the
+ * cross-domain event mailbox of the sharded parallel loop.
+ *
+ * Each shard EventQueue owns one ring per producer domain, so every
+ * ring has exactly one producer (the foreign domain's worker thread)
+ * and one consumer (the owning domain's worker, or the coordinator
+ * between grants). Producer and consumer indices are synchronized with
+ * acquire/release atomics; under the strict-order grant protocol the
+ * coordinator's handoff mutex additionally sequences every push before
+ * the matching pop, so the ring is data-race-free under TSan and the
+ * drain order is deterministic.
+ *
+ * Capacity is a hard bound, not a heuristic: a producer can only post
+ * while its grant bound allows it to run, and every cross-post shrinks
+ * that bound to the posted key, so the number of undrained posts per
+ * grant is bounded by the events schedulable below one cross-domain
+ * latency. push() panics on overflow rather than silently growing,
+ * because growth would not be safe against a concurrent consumer.
+ */
+
+#ifndef BCTRL_SIM_MAILBOX_HH
+#define BCTRL_SIM_MAILBOX_HH
+
+#include <atomic>
+#include <cstddef>
+
+#include "sim/logging.hh"
+
+namespace bctrl {
+
+/** Entries a cross-domain mailbox can hold before push() panics. */
+constexpr std::size_t crossMailboxCapacity = 1024;
+
+template <typename T, std::size_t Capacity>
+class SpscRing
+{
+    static_assert((Capacity & (Capacity - 1)) == 0,
+                  "SpscRing capacity must be a power of two");
+
+  public:
+    /** Producer side: append @p v; panics if the ring is full. */
+    void
+    push(const T &v)
+    {
+        const std::size_t head =
+            head_.load(std::memory_order_relaxed);
+        const std::size_t tail =
+            tail_.load(std::memory_order_acquire);
+        panic_if(head - tail >= Capacity,
+                 "SPSC mailbox overflow (%zu entries): a grant "
+                 "cross-posted more events than one lookahead window "
+                 "can hold",
+                 Capacity);
+        slots_[head & (Capacity - 1)] = v;
+        head_.store(head + 1, std::memory_order_release);
+    }
+
+    /**
+     * Consumer side: remove the oldest entry into @p out.
+     * @return false if the ring is empty.
+     */
+    bool
+    pop(T &out)
+    {
+        const std::size_t tail =
+            tail_.load(std::memory_order_relaxed);
+        const std::size_t head =
+            head_.load(std::memory_order_acquire);
+        if (tail == head)
+            return false;
+        out = slots_[tail & (Capacity - 1)];
+        tail_.store(tail + 1, std::memory_order_release);
+        return true;
+    }
+
+    /** Consumer-side emptiness probe. */
+    bool
+    empty() const
+    {
+        return tail_.load(std::memory_order_relaxed) ==
+               head_.load(std::memory_order_acquire);
+    }
+
+  private:
+    T slots_[Capacity] = {};
+    std::atomic<std::size_t> head_{0};
+    std::atomic<std::size_t> tail_{0};
+};
+
+} // namespace bctrl
+
+#endif // BCTRL_SIM_MAILBOX_HH

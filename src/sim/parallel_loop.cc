@@ -1,0 +1,124 @@
+#include "sim/parallel_loop.hh"
+
+#include "sim/contracts.hh"
+#include "sim/logging.hh"
+
+namespace bctrl {
+
+ParallelLoop::ParallelLoop(EventQueue &border, EventQueue &gpu,
+                           EventQueue &dram)
+    : queues_{&border, &gpu, &dram}
+{
+    panic_if(border.domain() != Domain::border ||
+                 gpu.domain() != Domain::gpuCluster ||
+                 dram.domain() != Domain::dram,
+             "ParallelLoop queues must be (border, gpuCluster, dram)");
+    border.joinShardGroup(&border);
+    gpu.joinShardGroup(&border);
+    dram.joinShardGroup(&border);
+}
+
+ParallelLoop::~ParallelLoop()
+{
+    if (!threadsStarted_)
+        return;
+    for (Worker &w : workers_) {
+        {
+            std::lock_guard<std::mutex> lk(w.mutex);
+            w.cmd = Worker::Cmd::quit;
+        }
+        w.cv.notify_all();
+        w.thread.join();
+    }
+}
+
+void
+ParallelLoop::ensureThreads()
+{
+    if (threadsStarted_)
+        return;
+    threadsStarted_ = true;
+    for (std::size_t i = 0; i < numDomains; ++i)
+        workers_[i].thread =
+            std::thread([this, i] { workerMain(i); });
+}
+
+void
+ParallelLoop::workerMain(std::size_t idx)
+{
+    Worker &w = workers_[idx];
+    for (;;) {
+        Worker::Cmd cmd;
+        {
+            std::unique_lock<std::mutex> lk(w.mutex);
+            w.cv.wait(lk,
+                      [&] { return w.cmd != Worker::Cmd::none; });
+            cmd = w.cmd;
+            w.cmd = Worker::Cmd::none;
+        }
+        if (cmd == Worker::Cmd::quit)
+            return;
+        // The grant runs outside the lock: the coordinator is parked
+        // in grant() until done flips, so this thread is the only one
+        // touching the shard group's simulated state.
+        const std::uint64_t n = queues_[idx]->runGranted(w.bound);
+        {
+            std::lock_guard<std::mutex> lk(w.mutex);
+            w.executed += n;
+            w.done = true;
+        }
+        w.cv.notify_all();
+    }
+}
+
+void
+ParallelLoop::grant(std::size_t idx, const EventQueue::OrderKey &bound)
+{
+    Worker &w = workers_[idx];
+    {
+        std::lock_guard<std::mutex> lk(w.mutex);
+        w.bound = bound;
+        w.done = false;
+        w.cmd = Worker::Cmd::go;
+    }
+    w.cv.notify_all();
+    std::unique_lock<std::mutex> lk(w.mutex);
+    w.cv.wait(lk, [&] { return w.done; });
+}
+
+Tick
+ParallelLoop::run()
+{
+    ensureThreads();
+    EventQueue &primary = *queues_[0];
+    primary.stopRequested_ = false;
+    while (!primary.stopRequested_) {
+        // Structural scan: drain mailboxes and read each shard's head
+        // key. Safe from this thread — every worker is parked.
+        EventQueue::OrderKey keys[numDomains];
+        bool have[numDomains];
+        for (std::size_t i = 0; i < numDomains; ++i)
+            have[i] = queues_[i]->headKey(keys[i]);
+
+        std::size_t next = numDomains;
+        for (std::size_t i = 0; i < numDomains; ++i)
+            if (have[i] && (next == numDomains || keys[i] < keys[next]))
+                next = i;
+        if (next == numDomains)
+            break; // every shard drained
+
+        // Conservative bound: the minimal head key of the other
+        // shards. Keys are unique, so the granted head is strictly
+        // below the bound and every grant makes progress.
+        EventQueue::OrderKey bound; // +infinity sentinel
+        for (std::size_t i = 0; i < numDomains; ++i)
+            if (i != next && have[i] && keys[i] < bound)
+                bound = keys[i];
+
+        grant(next, bound);
+        ++grants_;
+    }
+    return primary.curTick();
+}
+
+} // namespace bctrl

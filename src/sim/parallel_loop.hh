@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Domain-sharded parallel event loop (conservative PDES coordinator).
+ *
+ * Components are partitioned into Domain shards (GPU cluster, border
+ * host, DRAM), each with its own EventQueue bound to its own worker
+ * thread. The queues form a shard group: they share the primary's
+ * global clock, sequence counter, and counters (see EventQueue), and
+ * cross-domain schedules travel through SPSC mailboxes instead of
+ * touching a foreign ladder directly.
+ *
+ * This implements the strict-order variant of conservative PDES: the
+ * coordinator repeatedly grants the shard holding the globally minimal
+ * (tick, priority, sequence) key the right to run, bounded by the
+ * minimal head key of every other shard; a worker additionally stops
+ * at the smallest key it cross-posted mid-grant, since that post may
+ * be the true global next event. Because keys are unique, the events
+ * execute in exactly the serial order, and — the counters being
+ * delegated to the primary — every RunResult is bit-identical to the
+ * serial loop's by induction over events.
+ *
+ * The strict bound means grants do not yet overlap in wall-time: the
+ * effective lookahead between domains is zero because components make
+ * synchronous same-tick cross-domain calls (a GPU L2 miss invokes the
+ * bus and Border Control inline). DESIGN.md §14 spells out the
+ * contract: overlap is unlocked per call site by converting those
+ * synchronous calls to mailbox-scheduled events, which the bclint
+ * rule `cross-domain-direct-call` inventories. The thread structure,
+ * mailboxes, and determinism proof are exactly the ones the
+ * overlapping schedule will use.
+ */
+
+#ifndef BCTRL_SIM_PARALLEL_LOOP_HH
+#define BCTRL_SIM_PARALLEL_LOOP_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+namespace bctrl {
+
+/**
+ * Coordinator for one shard group. Construct with the three domain
+ * queues immediately after they exist (before any component schedules
+ * into them); worker threads start lazily on the first run().
+ */
+class ParallelLoop
+{
+  public:
+    /**
+     * Form the shard group. @p border becomes the primary (global
+     * clock and counter owner); all three queues must be empty.
+     */
+    ParallelLoop(EventQueue &border, EventQueue &gpu, EventQueue &dram);
+    ~ParallelLoop();
+
+    ParallelLoop(const ParallelLoop &) = delete;
+    ParallelLoop &operator=(const ParallelLoop &) = delete;
+
+    /**
+     * Run until every shard drains (or the watchdog requests a stop).
+     * Mirrors EventQueue::run(tickNever) observable behavior.
+     * @return the final global tick.
+     */
+    Tick run();
+
+    /** Grants issued since construction (one handoff round each). */
+    std::uint64_t grants() const { return grants_; }
+
+    /** Events executed inside grants, per domain shard. */
+    std::uint64_t
+    executedIn(Domain d) const
+    {
+        return workers_[static_cast<std::size_t>(d)].executed;
+    }
+
+  private:
+    /**
+     * Per-shard worker-thread handoff block. The mutex/condvar pair
+     * sequences every coordinator->worker grant and worker->
+     * coordinator completion, so at most one thread ever touches
+     * simulated state at a time and the group is race-free by
+     * construction (TSan-checkable, not just asserted).
+     */
+    struct Worker {
+        enum class Cmd { none, go, quit };
+
+        std::thread thread;
+        std::mutex mutex;
+        std::condition_variable cv;
+        Cmd cmd = Cmd::none;
+        bool done = false;
+        EventQueue::OrderKey bound;
+        std::uint64_t executed = 0;
+    };
+
+    void ensureThreads();
+    void workerMain(std::size_t idx);
+
+    /** Issue one grant to shard @p idx and wait for completion. */
+    void grant(std::size_t idx, const EventQueue::OrderKey &bound);
+
+    EventQueue *queues_[numDomains];
+    Worker workers_[numDomains];
+    bool threadsStarted_ = false;
+    std::uint64_t grants_ = 0;
+};
+
+} // namespace bctrl
+
+#endif // BCTRL_SIM_PARALLEL_LOOP_HH

@@ -1,0 +1,16 @@
+// bclint fixture: scheduling through another component's queue
+// accessor couples domains synchronously — in the sharded loop that
+// is a zero-lookahead cross-domain call.
+
+namespace bctrl {
+
+class Event;
+
+template <class Dram>
+void
+crossSchedule(Dram &dram, Event *ev)
+{
+    dram.eventQueue().schedule(ev, 42);
+}
+
+} // namespace bctrl

@@ -1,0 +1,32 @@
+// bclint fixture: an annotated same-domain reach (the two objects
+// share a shard, so the direct call cannot cross domains), plus the
+// this->/self-> forms, which are the caller's own queue by definition.
+
+namespace bctrl {
+
+class Event;
+
+template <class Cu>
+struct Wavefront {
+    Cu &cu_;
+
+    void
+    hop(Event *ev)
+    {
+        // Same GPU-cluster domain as cu_.
+        // bclint:allow(cross-domain-direct-call)
+        cu_.eventQueue().schedule(ev, 42);
+    }
+
+    void
+    own(Event *ev)
+    {
+        this->eventQueue().schedule(ev, 42);
+        auto *self = this;
+        self->eventQueue().schedule(ev, 43);
+    }
+
+    Cu &eventQueue() { return cu_; }
+};
+
+} // namespace bctrl

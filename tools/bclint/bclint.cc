@@ -24,6 +24,11 @@
  *                       factory; go through allocPacket()
  *   raw-console-io      no printf/std::cout/std::cerr in src/; route
  *                       through sim/logging.hh (or take an ostream)
+ *   cross-domain-direct-call
+ *                       no scheduling through another component's
+ *                       eventQueue() accessor; same-domain reaches
+ *                       carry an explicit allow (the inventory the
+ *                       parallel-loop overlap work tracks)
  *
  * Suppression: `// bclint:allow(rule-id[, rule-id...])` on the finding
  * line or the line above it; `// bclint:allow-file(rule-id)` anywhere
@@ -113,6 +118,12 @@ const RuleInfo kRules[] = {
      "no std::<random> engines (mt19937, minstd_rand, ...) in src/: "
      "all randomness flows through the explicitly seeded "
      "bctrl::Random so chaos and sweep runs replay exactly"},
+    {"cross-domain-direct-call",
+     "no schedule/scheduleLambda/reschedule through another "
+     "component's eventQueue() accessor: in the domain-sharded loop "
+     "a synchronous cross-domain schedule has zero lookahead and "
+     "pins the shards serial; schedule on your own queue (push() "
+     "mailbox-routes) and annotate genuine same-domain reaches"},
 };
 
 bool
@@ -325,6 +336,15 @@ patternRules()
             "std::<random> engine in simulation code; draw from the "
             "seeded bctrl::Random (sim/random.hh) so every run is "
             "replayable from its seed");
+        // this->/self-> reaches are by definition the caller's own
+        // queue; any other object prefix is a cross-component reach.
+        add("cross-domain-direct-call",
+            R"((\)|\]|\b(?!this\b|self\b)[A-Za-z_]\w*)\s*(\.|->)\s*eventQueue\s*\(\s*\)\s*\.\s*(schedule|scheduleLambda|reschedule)\s*\()",
+            "scheduling through another component's eventQueue() "
+            "accessor; in shard mode this is a zero-lookahead "
+            "cross-domain coupling — schedule on your own queue (the "
+            "mailbox routes it) or annotate a same-domain reach with "
+            "bclint:allow");
         return r;
     }();
     return rules;
@@ -375,6 +395,11 @@ ruleAppliesToPath(const SourceFile &sf, const std::string &rule)
         return startsWith(sf.relPath, "src/") &&
                sf.relPath != "src/sim/random.hh" &&
                sf.relPath != "src/sim/random.cc";
+    }
+    if (rule == "cross-domain-direct-call") {
+        // Library code only: tests/benches/tools drive queues from the
+        // outside by design (no shard context to violate).
+        return startsWith(sf.relPath, "src/");
     }
     return true;
 }

@@ -102,6 +102,11 @@ usage(const char *prog)
         "uniform,stream,strided\n"
         "  --compare-serial   also run serially and report the "
         "speedup\n"
+        "  --parallel-loop    drive each run with the domain-sharded\n"
+        "                     parallel event loop; with "
+        "--compare-serial\n"
+        "                     the check pits it against the serial "
+        "loop\n"
         "  --out FILE         JSON report path (default: "
         "BENCH_sweep.json)\n"
         "  --trace FLAGS      enable tracing: comma-separated of BCC,\n"
@@ -221,6 +226,8 @@ main(int argc, char **argv)
             workloads = {"uniform", "stream", "strided"};
         } else if (arg == "--compare-serial") {
             compare_serial = true;
+        } else if (arg == "--parallel-loop") {
+            base.parallelLoop = true;
         } else if (arg == "--out") {
             out_path = next();
         } else if (arg == "--trace") {
@@ -285,9 +292,15 @@ main(int argc, char **argv)
     double serial_seconds = 0;
     double speedup = 0;
     if (compare_serial) {
+        // The oracle never uses the sharded loop: with --parallel-loop
+        // this comparison is the sharded-vs-serial bit-identity check.
+        SystemConfig serial_base = base;
+        serial_base.parallelLoop = false;
+        const std::vector<SweepPoint> serial_points =
+            matrixPoints(workloads, safeties, profiles, serial_base);
         const auto ser_start = now();
         const std::vector<SweepOutcome> serial_outcomes =
-            sweep(points, 1);
+            sweep(serial_points, 1);
         const std::chrono::duration<double> ser_elapsed =
             now() - ser_start;
         serial_seconds = ser_elapsed.count();
@@ -362,6 +375,8 @@ main(int argc, char **argv)
     }
     std::fprintf(f, "{\n  \"schema\": \"bctrl-sweep-v1\",\n");
     std::fprintf(f, "  \"jobs\": %u,\n", effective_jobs);
+    std::fprintf(f, "  \"parallel_loop\": %s,\n",
+                 base.parallelLoop ? "true" : "false");
     std::fprintf(f, "  \"runs\": [\n");
     for (std::size_t i = 0; i < outcomes.size(); ++i) {
         const SweepOutcome &o = outcomes[i];

@@ -30,4 +30,13 @@ echo "== parallel micro sweep under TSan (4 workers) =="
 "$build/tools/bctrl_sweep" --micro --jobs 4 --quiet \
     --out "$build/BENCH_sweep_tsan.json"
 
+echo "== domain-sharded event loop under TSan (3 shard threads) =="
+# Exercises the parallel-loop grant protocol (coordinator handoff,
+# SPSC mailboxes, shard worker threads) rather than the run-level
+# sweep parallelism above; --compare-serial re-runs serially and
+# fails on any divergence, so order bugs surface here too.
+"$build/tools/bctrl_sweep" --micro --workloads uniform \
+    --safety bc-bcc --parallel-loop --compare-serial \
+    --quiet --out "$build/BENCH_sweep_tsan_sharded.json"
+
 echo "tsan sweep smoke: clean"
