@@ -4,35 +4,50 @@
  * the queue core can dispatch when events are nearly free, isolating
  * scheduler cost from component simulation cost.
  *
- * Four modes, one synthetic workload (self-rescheduling event chains
- * whose tick deltas follow the simulator's measured mix: mostly a few
- * GPU cycles ahead, a tail of long timers):
+ * Two workloads, five modes:
+ *
+ * Solo workload (one queue, self-rescheduling chains whose deltas
+ * follow the simulator's measured mix):
  *
  *   serial_heap    - the pre-ladder binary-heap EventQueue, replicated
  *                    in heap_reference.hh and driven through the same
  *                    Event API (virtual dispatch, schedule checks), as
  *                    the oracle for both order and throughput
- *   ladder         - EventQueue via the bounded run() path (per-event
+ *   ladder         - EventQueue via the bounded step() path (per-event
  *                    horizon compare, no batching)
  *   ladder_batched - EventQueue via run() unbounded, the production
  *                    System::run() path
- *   sharded        - three EventQueue shards + ParallelLoop, chains
- *                    round-robined across domains so every hop
- *                    crosses a mailbox
  *
- * Every mode must visit exactly the same (tick, chain) trajectory;
- * the harness cross-checks a running checksum so a future queue
- * change that reorders events fails here before it fails a sweep.
- * Results go to stdout and optionally a JSON trajectory file
- * (BENCH_eventloop.json in the repo root records the committed run).
+ * Cross-domain workload (three domain queues; chains live in one
+ * domain and hop to the next every ~10-16 events through an owned
+ * lambda carrying the cross-domain lookahead — the same traffic shape
+ * the real system's border crossings produce):
+ *
+ *   sharded_serial - the three queues joined by formSerialGroup() and
+ *                    run on the leader: the bit-identical oracle
+ *   sharded        - the same queues under ParallelLoop's windowed
+ *                    conservative grants, one worker per domain
+ *
+ * Every solo mode must visit exactly the same (tick, chain)
+ * trajectory; the two cross modes must visit the same per-domain
+ * trajectories. The harness cross-checks order-sensitive checksums so
+ * a future queue change that reorders events fails here before it
+ * fails a sweep. Results go to stdout and optionally a JSON file
+ * (BENCH_eventloop.json in the repo root records the committed run);
+ * --check compares against a committed JSON and fails on regression,
+ * which is what the perf_regression ctest runs.
  */
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <memory>
 #include <queue>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.hh"
@@ -87,6 +102,33 @@ struct ChurnSpec {
     }
 };
 
+/**
+ * The cross-domain workload: per-domain chains that mostly advance a
+ * few GPU cycles at a time and hop to the next domain every 10-16
+ * events. The lookahead is generous relative to the deltas (a window
+ * admits ~17 hops per chain), mirroring the real system where the
+ * cross-domain latency dwarfs the per-event step.
+ */
+struct CrossSpec {
+    int chainsPerDomain = 256;
+    std::uint64_t hopsPerChain = 13'000;
+    Tick lookahead = 50'000;
+    int chains() const { return chainsPerDomain * numDomains; }
+    std::uint64_t totalEvents() const
+    {
+        return static_cast<std::uint64_t>(chains()) * hopsPerChain;
+    }
+};
+
+/** Cross-workload delta mix: mostly 1-3 GPU cycles, 10% mid hops. */
+Tick
+crossDelta(std::uint64_t r)
+{
+    if (r % 10 != 0)
+        return 1'429 + r % 2'858;
+    return 30'000 + r % 120'000;
+}
+
 /** Order-sensitive checksum over the (tick, chain) visit sequence. */
 struct Check {
     std::uint64_t h = 0xcbf29ce484222325ULL;
@@ -102,6 +144,8 @@ struct Result {
     double seconds = 0;
     std::uint64_t events = 0;
     std::uint64_t checksum = 0;
+    /** Per-domain checksums (cross modes only; zero otherwise). */
+    std::uint64_t domainChecksum[numDomains] = {};
     double
     eventsPerSec() const
     {
@@ -114,44 +158,33 @@ struct Result {
 using BenchClock = std::chrono::steady_clock;
 
 /**
- * A self-rescheduling chain event. Each hop schedules the next one
- * into the next queue of @p queues (one queue in the serial modes;
- * the three domain shards in sharded mode, so every hop crosses a
- * mailbox). Templated over the queue/event types so the identical
- * workload — rng advance, checksum, virtual dispatch — runs through
- * both the production EventQueue and the benchref::HeapQueue oracle.
+ * A self-rescheduling chain event for the solo workload. Templated
+ * over the queue/event types so the identical workload — rng advance,
+ * checksum, virtual dispatch — runs through both the production
+ * EventQueue and the benchref::HeapQueue oracle.
  */
 template <class Queue, class EventBase>
 class ChainEventT : public EventBase
 {
   public:
-    ChainEventT(Queue *const *queues, std::size_t nqueues, Rng rng,
-                std::uint64_t hops, int chain, Check &check)
-        : queues_(queues), nqueues_(nqueues), slot_(chain % nqueues),
-          rng_(rng), hopsLeft_(hops), chain_(chain), check_(check)
+    ChainEventT(Queue &queue, Rng rng, std::uint64_t hops, int chain,
+                Check &check)
+        : queue_(queue), rng_(rng), hopsLeft_(hops), chain_(chain),
+          check_(check)
     {}
-
-    /** The queue the first hop belongs to. */
-    Queue &homeQueue() { return *queues_[slot_]; }
 
     void
     process() override
     {
-        Queue &cur = *queues_[slot_];
-        check_.visit(cur.curTick(), chain_);
-        if (--hopsLeft_ > 0) {
-            slot_ = (slot_ + 1) % nqueues_;
-            queues_[slot_]->schedule(this,
-                                     cur.curTick() + nextDelta(rng_));
-        }
+        check_.visit(queue_.curTick(), chain_);
+        if (--hopsLeft_ > 0)
+            queue_.schedule(this, queue_.curTick() + nextDelta(rng_));
     }
 
     std::string name() const override { return "chain-event"; }
 
   private:
-    Queue *const *queues_;
-    std::size_t nqueues_;
-    std::size_t slot_;
+    Queue &queue_;
     Rng rng_;
     std::uint64_t hopsLeft_;
     int chain_;
@@ -166,14 +199,13 @@ Result
 runHeapReference(const ChurnSpec &w)
 {
     benchref::HeapQueue hq;
-    benchref::HeapQueue *queues[1] = {&hq};
     Check check;
     std::vector<std::unique_ptr<RefChainEvent>> chains;
     for (int c = 0; c < w.chains; ++c) {
         Rng rng(0x1000 + c);
         const Tick first = nextDelta(rng);
         chains.push_back(std::make_unique<RefChainEvent>(
-            queues, 1, rng, w.hopsPerChain, c, check));
+            hq, rng, w.hopsPerChain, c, check));
         hq.schedule(chains.back().get(), first);
     }
 
@@ -188,21 +220,20 @@ runHeapReference(const ChurnSpec &w)
 }
 
 /**
- * EventQueue modes. @p batched picks run() unbounded (the batched
- * production path) vs. a bounded run (per-event horizon compares).
+ * EventQueue solo modes. @p batched picks run() unbounded (the
+ * batched production path) vs. step() (per-event peek/pop).
  */
 Result
 runLadder(const ChurnSpec &w, bool batched)
 {
     EventQueue eq;
-    EventQueue *queues[1] = {&eq};
     Check check;
     std::vector<std::unique_ptr<ChainEvent>> chains;
     for (int c = 0; c < w.chains; ++c) {
         Rng rng(0x1000 + c);
         const Tick first = nextDelta(rng);
         chains.push_back(std::make_unique<ChainEvent>(
-            queues, 1, rng, w.hopsPerChain, c, check));
+            eq, rng, w.hopsPerChain, c, check));
         eq.schedule(chains.back().get(), first);
     }
 
@@ -224,38 +255,165 @@ runLadder(const ChurnSpec &w, bool batched)
 }
 
 /**
- * Sharded mode: the same chains spread round-robin over the three
- * domain queues of a ParallelLoop group, so chain hops constantly
- * cross shard boundaries through the coordinator's grant protocol.
+ * A chain event for the cross-domain workload. Hops are domain-local
+ * Event schedules except every 10-16th, which crosses to the next
+ * domain as a queue-owned lambda at +lookahead (plain Events may not
+ * cross shard borders — their owner could deschedule them while the
+ * entry is in a mailbox). One object serves both cross modes: the
+ * serial facade group and the shard group stamp identical keys.
+ */
+class CrossChainEvent : public Event
+{
+  public:
+    CrossChainEvent(EventQueue *const *queues, Tick lookahead, Rng rng,
+                    std::uint64_t hops, int chain, Check *checks)
+        : queues_(queues), lookahead_(lookahead), rng_(rng),
+          hopsLeft_(hops), chain_(chain), checks_(checks),
+          slot_(chain % numDomains),
+          crossIn_(10 + static_cast<int>(rng_.next() % 7))
+    {}
+
+    std::size_t homeSlot() const { return slot_; }
+
+    void
+    process() override
+    {
+        EventQueue &cur = *queues_[slot_];
+        checks_[slot_].visit(cur.curTick(), chain_);
+        if (--hopsLeft_ == 0)
+            return;
+        const std::uint64_t r = rng_.next();
+        const Tick delta = crossDelta(r);
+        if (--crossIn_ > 0) {
+            cur.schedule(this, cur.curTick() + delta);
+            return;
+        }
+        crossIn_ = 10 + static_cast<int>(r % 7);
+        slot_ = (slot_ + 1) % numDomains;
+        CrossChainEvent *self = this;
+        // The lambda runs on the target queue's thread; by then the
+        // chain's state is safely published by the window barrier.
+        queues_[slot_]->scheduleLambda(
+            [self] { self->process(); },
+            cur.curTick() + lookahead_ + delta);
+    }
+
+    std::string name() const override { return "cross-chain-event"; }
+
+  private:
+    EventQueue *const *queues_;
+    const Tick lookahead_;
+    Rng rng_;
+    std::uint64_t hopsLeft_;
+    const int chain_;
+    Check *checks_;
+    std::size_t slot_;
+    int crossIn_;
+};
+
+/** Build and schedule the cross-domain chains (both cross modes). */
+std::vector<std::unique_ptr<CrossChainEvent>>
+makeCrossChains(const CrossSpec &w, EventQueue *const queues[],
+                Check checks[])
+{
+    std::vector<std::unique_ptr<CrossChainEvent>> chains;
+    for (int c = 0; c < w.chains(); ++c) {
+        Rng rng(0x2000 + c);
+        chains.push_back(std::make_unique<CrossChainEvent>(
+            queues, w.lookahead, rng, w.hopsPerChain, c, checks));
+        CrossChainEvent *ev = chains.back().get();
+        // First hop is domain-local: scheduled from outside any event,
+        // the home queue stamps itself as sender.
+        queues[ev->homeSlot()]->schedule(
+            ev, crossDelta(Rng(0x9000 + c).next()));
+    }
+    return chains;
+}
+
+void
+finishCross(Result &res, const Check checks[], std::uint64_t events)
+{
+    res.events = events;
+    // Fold the per-domain checksums into one order-sensitive word for
+    // the best-of comparison; the oracle check compares per domain.
+    std::uint64_t h = 0x100001b3ULL;
+    for (std::size_t d = 0; d < numDomains; ++d) {
+        res.domainChecksum[d] = checks[d].h;
+        h ^= checks[d].h + (h << 6) + (h >> 2);
+    }
+    res.checksum = h;
+}
+
+/**
+ * Cross-domain oracle: the three domain queues joined as a serial
+ * facade group and run single-threaded on the leader.
  */
 Result
-runSharded(const ChurnSpec &w)
+runShardedSerial(const CrossSpec &w)
 {
     EventQueue border(Domain::border);
     EventQueue gpu(Domain::gpuCluster);
     EventQueue dram(Domain::dram);
-    ParallelLoop loop(border, gpu, dram);
+    border.formSerialGroup(gpu, dram, w.lookahead);
     EventQueue *queues[numDomains] = {&border, &gpu, &dram};
 
-    Check check;
-    std::vector<std::unique_ptr<ChainEvent>> chains;
-    for (int c = 0; c < w.chains; ++c) {
-        Rng rng(0x1000 + c);
-        const Tick first = nextDelta(rng);
-        chains.push_back(std::make_unique<ChainEvent>(
-            queues, numDomains, rng, w.hopsPerChain, c, check));
-        chains.back()->homeQueue().schedule(chains.back().get(),
-                                            first);
-    }
+    Check checks[numDomains];
+    auto chains = makeCrossChains(w, queues, checks);
+
+    Result res;
+    const auto start = BenchClock::now();
+    border.run();
+    const std::chrono::duration<double> el = BenchClock::now() - start;
+    res.seconds = el.count();
+    finishCross(res, checks, border.eventsProcessed());
+    return res;
+}
+
+/**
+ * Sharded mode: the same chains under ParallelLoop's windowed
+ * conservative grants, one worker thread per domain.
+ */
+Result
+runSharded(const CrossSpec &w)
+{
+    EventQueue border(Domain::border);
+    EventQueue gpu(Domain::gpuCluster);
+    EventQueue dram(Domain::dram);
+    ParallelLoop loop(border, gpu, dram, w.lookahead);
+    EventQueue *queues[numDomains] = {&border, &gpu, &dram};
+
+    Check checks[numDomains];
+    auto chains = makeCrossChains(w, queues, checks);
 
     Result res;
     const auto start = BenchClock::now();
     loop.run();
     const std::chrono::duration<double> el = BenchClock::now() - start;
     res.seconds = el.count();
-    res.events = border.eventsProcessed();
-    res.checksum = check.h;
+    finishCross(res, checks, border.eventsProcessed());
     return res;
+}
+
+/**
+ * Extract modes.NAME.events_per_sec from a committed JSON file with a
+ * string scan (the schema is flat and written by this harness; a full
+ * parser would be overkill for a perf gate).
+ */
+bool
+committedRate(const std::string &json, const char *mode, double *rate)
+{
+    std::string key = "\"";
+    key += mode;
+    key += "\":";
+    const std::size_t at = json.find(key);
+    if (at == std::string::npos)
+        return false;
+    const std::string field = "\"events_per_sec\":";
+    const std::size_t f = json.find(field, at);
+    if (f == std::string::npos)
+        return false;
+    *rate = std::strtod(json.c_str() + f + field.size(), nullptr);
+    return *rate > 0;
 }
 
 } // namespace
@@ -264,22 +422,35 @@ int
 main(int argc, char **argv)
 {
     ChurnSpec w;
+    CrossSpec x;
     std::string out_path;
+    std::string check_path;
+    double tolerance = 0.20;
     int repeat = 1;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--out" && i + 1 < argc) {
             out_path = argv[++i];
+        } else if (arg == "--check" && i + 1 < argc) {
+            check_path = argv[++i];
+        } else if (arg == "--tolerance" && i + 1 < argc) {
+            tolerance = std::atof(argv[++i]);
         } else if (arg == "--chains" && i + 1 < argc) {
             w.chains = std::atoi(argv[++i]);
         } else if (arg == "--hops" && i + 1 < argc) {
             w.hopsPerChain = std::strtoull(argv[++i], nullptr, 0);
+        } else if (arg == "--cross-chains" && i + 1 < argc) {
+            x.chainsPerDomain = std::atoi(argv[++i]);
+        } else if (arg == "--cross-hops" && i + 1 < argc) {
+            x.hopsPerChain = std::strtoull(argv[++i], nullptr, 0);
         } else if (arg == "--best" && i + 1 < argc) {
             repeat = std::atoi(argv[++i]);
         } else {
             std::fprintf(stderr,
                          "usage: %s [--chains N] [--hops N] "
-                         "[--best N] [--out FILE]\n",
+                         "[--cross-chains N] [--cross-hops N] "
+                         "[--best N] [--out FILE] "
+                         "[--check FILE [--tolerance F]]\n",
                          argv[0]);
             return 2;
         }
@@ -311,14 +482,16 @@ main(int argc, char **argv)
         {"serial_heap", bestOf([&] { return runHeapReference(w); })},
         {"ladder", bestOf([&] { return runLadder(w, false); })},
         {"ladder_batched", bestOf([&] { return runLadder(w, true); })},
-        {"sharded", bestOf([&] { return runSharded(w); })},
+        {"sharded_serial", bestOf([&] { return runShardedSerial(x); })},
+        {"sharded", bestOf([&] { return runSharded(x); })},
     };
+    constexpr std::size_t numModes = sizeof(modes) / sizeof(modes[0]);
 
     // The ladder modes must visit the identical trajectory the heap
-    // oracle does. (The sharded trajectory is also identical: the
-    // strict-order grant protocol reproduces the serial order.)
+    // oracle does.
     const std::uint64_t want = modes[0].r.checksum;
-    for (const Mode &m : modes) {
+    for (std::size_t i = 0; i < 3; ++i) {
+        const Mode &m = modes[i];
         if (m.r.checksum != want || m.r.events != w.totalEvents()) {
             std::fprintf(stderr,
                          "FAIL: mode %s diverged from the heap oracle "
@@ -330,14 +503,79 @@ main(int argc, char **argv)
             return 1;
         }
     }
+    // The sharded run must visit the identical per-domain trajectories
+    // the serial facade group does: this is the same bit-identity the
+    // windowed grant protocol promises the full system.
+    const Result &xs = modes[3].r;
+    const Result &xp = modes[4].r;
+    if (xs.events != x.totalEvents() || xp.events != x.totalEvents()) {
+        std::fprintf(stderr,
+                     "FAIL: cross modes dropped events (%llu / %llu, "
+                     "expected %llu)\n",
+                     (unsigned long long)xs.events,
+                     (unsigned long long)xp.events,
+                     (unsigned long long)x.totalEvents());
+        return 1;
+    }
+    for (std::size_t d = 0; d < numDomains; ++d) {
+        if (xs.domainChecksum[d] != xp.domainChecksum[d]) {
+            std::fprintf(stderr,
+                         "FAIL: sharded domain %zu diverged from the "
+                         "serial group (checksum %llx vs %llx)\n",
+                         d, (unsigned long long)xp.domainChecksum[d],
+                         (unsigned long long)xs.domainChecksum[d]);
+            return 1;
+        }
+    }
 
     const double heap_rate = modes[0].r.eventsPerSec();
+    const double cross_rate = modes[3].r.eventsPerSec();
     std::printf("%-15s %12s %12s %9s\n", "mode", "events", "events/s",
-                "vs heap");
-    for (const Mode &m : modes) {
+                "vs base");
+    for (std::size_t i = 0; i < numModes; ++i) {
+        const Mode &m = modes[i];
+        // Base = serial_heap for the solo workload, sharded_serial for
+        // the cross-domain workload (they are different workloads).
+        const double base = i < 3 ? heap_rate : cross_rate;
         std::printf("%-15s %12llu %12.0f %8.2fx\n", m.name,
                     (unsigned long long)m.r.events, m.r.eventsPerSec(),
-                    heap_rate > 0 ? m.r.eventsPerSec() / heap_rate : 0);
+                    base > 0 ? m.r.eventsPerSec() / base : 0);
+    }
+
+    if (!check_path.empty()) {
+        std::ifstream in(check_path);
+        if (!in) {
+            std::fprintf(stderr, "cannot read %s\n", check_path.c_str());
+            return 1;
+        }
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        const std::string json = buf.str();
+        bool regressed = false;
+        for (const Mode &m : modes) {
+            double committed = 0;
+            if (!committedRate(json, m.name, &committed)) {
+                std::fprintf(stderr,
+                             "check: mode %s missing from %s, skipped\n",
+                             m.name, check_path.c_str());
+                continue;
+            }
+            const double floor = committed * (1.0 - tolerance);
+            const bool bad = m.r.eventsPerSec() < floor;
+            regressed = regressed || bad;
+            std::fprintf(stderr,
+                         "check: %-15s committed %12.0f ev/s, "
+                         "now %12.0f ev/s%s\n",
+                         m.name, committed, m.r.eventsPerSec(),
+                         bad ? "  REGRESSED" : "");
+        }
+        if (regressed) {
+            std::fprintf(stderr,
+                         "FAIL: throughput regressed more than %.0f%% "
+                         "vs %s\n",
+                         tolerance * 100, check_path.c_str());
+            return 1;
+        }
     }
 
     if (!out_path.empty()) {
@@ -346,11 +584,18 @@ main(int argc, char **argv)
             std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
             return 1;
         }
-        std::fprintf(f, "{\n  \"schema\": \"bctrl-eventloop-v1\",\n");
+        std::fprintf(f, "{\n  \"schema\": \"bctrl-eventloop-v2\",\n");
+        std::fprintf(f, "  \"host_cores\": %u,\n",
+                     std::thread::hardware_concurrency());
         std::fprintf(f, "  \"chains\": %d,\n  \"hops\": %llu,\n",
                      w.chains, (unsigned long long)w.hopsPerChain);
+        std::fprintf(f,
+                     "  \"cross_chains\": %d,\n  \"cross_hops\": %llu,\n"
+                     "  \"lookahead\": %llu,\n",
+                     x.chains(), (unsigned long long)x.hopsPerChain,
+                     (unsigned long long)x.lookahead);
         std::fprintf(f, "  \"modes\": {\n");
-        for (std::size_t i = 0; i < 4; ++i) {
+        for (std::size_t i = 0; i < numModes; ++i) {
             const Mode &m = modes[i];
             std::fprintf(
                 f,
@@ -359,7 +604,7 @@ main(int argc, char **argv)
                 m.name, (unsigned long long)m.r.events,
                 formatDouble(m.r.seconds).c_str(),
                 formatDouble(m.r.eventsPerSec()).c_str(),
-                i + 1 < 4 ? "," : "");
+                i + 1 < numModes ? "," : "");
         }
         std::fprintf(f, "  }\n}\n");
         std::fclose(f);

@@ -27,8 +27,20 @@ void
 CoherencePoint::recallFrom(bool accel_side, Addr addr)
 {
     if (accel_side) {
-        if (accelCache_ != nullptr)
+        if (accelCache_ == nullptr)
+            return;
+        if (accelHopQueue_ != nullptr) {
+            // The recall crosses the border: fire-and-forget message
+            // on the accelerator's queue. Any writeback it provokes
+            // returns through the accelerator's own downstream path
+            // with its own border crossing.
+            Cache *cache = accelCache_;
+            accelHopQueue_->scheduleLambda(
+                [cache, addr]() { cache->recallBlock(addr); },
+                curTick() + accelHopLatency_);
+        } else {
             accelCache_->recallBlock(addr);
+        }
         return;
     }
     for (Cache *cache : cpuCaches_)

@@ -57,6 +57,22 @@ class CoherencePoint : public SimObject, public MemDevice
     /** Register the top-level untrusted (accelerator-side) cache. */
     void setAccelCache(Cache *cache) { accelCache_ = cache; }
 
+    /**
+     * Deliver accelerator-side recalls as messages on the accelerator
+     * domain's queue with @p latency, instead of calling into the
+     * accelerator L2 synchronously. The coherence point lives on the
+     * host side of the border, so in the sharded build a recall must
+     * cross like any other traffic; the builder wires this in both
+     * serial and parallel modes so results stay bit-identical. Unset
+     * (unit tests), recalls stay synchronous.
+     */
+    void
+    setAccelRecallHop(EventQueue *accel_queue, Tick latency)
+    {
+        accelHopQueue_ = accel_queue;
+        accelHopLatency_ = latency;
+    }
+
     void access(const PacketPtr &pkt) override;
 
     /** Number of blocks with tracked state (test support). */
@@ -85,6 +101,8 @@ class CoherencePoint : public SimObject, public MemDevice
     Params params_;
     std::vector<Cache *> cpuCaches_;
     Cache *accelCache_ = nullptr;
+    EventQueue *accelHopQueue_ = nullptr;
+    Tick accelHopLatency_ = 0;
     std::unordered_map<Addr, BlockState> blocks_;
 
     stats::Scalar &requests_;

@@ -5,9 +5,21 @@
 namespace bctrl {
 
 System::System(const SystemConfig &config)
-    : config_(config), allocProf_("system.allocprof")
+    : config_(config), allocProf_("system.allocprof"),
+      eventqStats_("system.eventq"), parallelStats_("system.parallel")
 {
     const Tick gpu_period = config_.gpuPeriod();
+    const Tick cross_latency = config_.crossDomainLatency;
+
+    fatal_if(config_.parallelLoop && config_.faultPlan.active(),
+             "parallelLoop is incompatible with fault injection "
+             "(the fault engine assumes a single host thread)");
+    fatal_if(config_.parallelLoop && config_.traceMask != 0,
+             "parallelLoop is incompatible with tracing "
+             "(the trace sink assumes a single host thread)");
+    fatal_if(cross_latency == 0,
+             "crossDomainLatency must be nonzero: it is the border "
+             "interconnect hop and the parallel loop's lookahead");
 
     // Observability first, so every component constructed below can
     // already see the hooks through the event queue.
@@ -17,7 +29,12 @@ System::System(const SystemConfig &config)
     }
     if (config_.hostProfile) {
         profiler_ = std::make_unique<HostProfiler>();
-        eventQueue_.setProfiler(profiler_.get());
+        // Parallel runs attribute on the coordinator thread only (the
+        // shard queues never see the profiler — worker threads would
+        // race on its counters); the loop itself charges the eventLoop
+        // and coordinator slots.
+        if (!config_.parallelLoop)
+            eventQueue_.setProfiler(profiler_.get());
     }
     if (config_.faultPlan.active()) {
         faultEngine_ =
@@ -31,18 +48,24 @@ System::System(const SystemConfig &config)
         }
     }
 
-    // Shard queues must form their group while everything is empty,
-    // before any component can schedule. Components then bind to their
-    // domain's queue via queueFor(); in serial mode they all share the
-    // primary.
+    // The domain queues must form their group while everything is
+    // empty, before any component can schedule. Components then bind
+    // to their domain's queue via queueFor(); the serial build gets
+    // facades over one ladder, the parallel build gets real shards.
+    gpuQueue_ = std::make_unique<EventQueue>(Domain::gpuCluster);
+    dramQueue_ = std::make_unique<EventQueue>(Domain::dram);
     if (config_.parallelLoop) {
-        gpuQueue_ = std::make_unique<EventQueue>(Domain::gpuCluster);
-        dramQueue_ = std::make_unique<EventQueue>(Domain::dram);
-        loop_ = std::make_unique<ParallelLoop>(eventQueue_, *gpuQueue_,
-                                               *dramQueue_);
+        loop_ = std::make_unique<ParallelLoop>(
+            eventQueue_, *gpuQueue_, *dramQueue_, cross_latency);
+        loop_->setProfiler(profiler_.get());
+        packetPool_.setThreadSafe(true);
+    } else {
+        eventQueue_.formSerialGroup(*gpuQueue_, *dramQueue_,
+                                    cross_latency);
     }
 
     store_ = std::make_unique<BackingStore>(config_.physMemBytes);
+    store_->setThreadSafe(config_.parallelLoop);
 
     // Host-side allocation profile: how allocation-free the hot request
     // path actually is. All formulas so they read live counters at
@@ -90,9 +113,16 @@ System::System(const SystemConfig &config)
     dram_ = std::make_unique<Dram>(queueFor(Domain::dram), "system.mem",
                                    *store_, dram_params);
 
+    // Everything below the coherence point crosses into the DRAM
+    // domain: requests hop through this port at +crossDomainLatency
+    // and responses hop back the same way (via Packet::homeQueue).
+    borderToDram_ = std::make_unique<CrossDomainPort>(
+        eventQueue_, *dramQueue_, *dram_, cross_latency);
+
     coherence_ = std::make_unique<CoherencePoint>(
-        eventQueue_, "system.coherence", *dram_,
+        eventQueue_, "system.coherence", *borderToDram_,
         CoherencePoint::Params{});
+    coherence_->setAccelRecallHop(gpuQueue_.get(), cross_latency);
 
     bus_ = std::make_unique<MemBus>(eventQueue_, "system.bus",
                                     *coherence_, MemBus::Params{});
@@ -241,16 +271,30 @@ System::System(const SystemConfig &config)
       }
     }
 
+    // The accelerator's traffic leaves its cluster through this port:
+    // whatever device guards the border (Border Control, the IOMMU
+    // front end, or the bare bus) is reached at +crossDomainLatency on
+    // the border queue, and the port stamps each packet's home queue
+    // so the response crosses back the same way.
+    gpuToBorder_ = std::make_unique<CrossDomainPort>(
+        *gpuQueue_, eventQueue_, *gpu_mem_path, cross_latency);
+
     gpu_ = std::make_unique<Gpu>(queueFor(Domain::gpuCluster),
                                  "system.gpu", gpu_params, *ats_,
-                                 *gpu_mem_path, &packetPool_);
+                                 *gpuToBorder_, &packetPool_);
+    gpu_->setCrossDomainHop(&eventQueue_, cross_latency);
 
     if (gpu_->l2Cache() != nullptr)
         coherence_->setAccelCache(gpu_->l2Cache());
     if (capiL2_)
         coherence_->addCpuCache(capiL2_.get());
 
-    kernel_->attachAccelerator(gpu_.get(), borderControl_.get(),
+    // The kernel commands the accelerator through the border port:
+    // pause/flush/invalidate hop to the GPU queue, completions hop
+    // back, each leg carrying the crossing latency.
+    accelPort_ = std::make_unique<AcceleratorPort>(
+        eventQueue_, *gpuQueue_, *gpu_, cross_latency);
+    kernel_->attachAccelerator(accelPort_.get(), borderControl_.get(),
                                ats_.get());
     if (iommuFrontend_)
         kernel_->attachIommuFrontend(iommuFrontend_.get());
@@ -275,6 +319,104 @@ System::System(const SystemConfig &config)
                    std::to_string(gpu_->outstandingMemOps());
         });
     }
+
+    // Event-queue internals, one block per domain queue. All formulas
+    // read the live queue at dump time (quiescent: after runLoop).
+    // These are host-side diagnostics — scheduling pressure, stale
+    // purges, ladder overflow spills, mailbox overflow falls — and are
+    // excluded from the sim-only dump: where events are *stored*
+    // legitimately differs between the serial and sharded builds.
+    {
+        struct QueueRef { const char *name; const EventQueue *q; };
+        const QueueRef refs[] = {
+            {"border", &eventQueue_},
+            {"gpu", gpuQueue_.get()},
+            {"dram", dramQueue_.get()},
+        };
+        for (const QueueRef &ref : refs) {
+            const EventQueue *q = ref.q;
+            const std::string prefix = ref.name;
+            eventqStats_.formula(
+                prefix + ".stalePurged",
+                "canceled entries discarded by the ladder sweep",
+                [q]() { return static_cast<double>(q->stalePurged()); });
+            eventqStats_.formula(
+                prefix + ".pendingEntries",
+                "entries resident in this queue's ladder storage",
+                [q]() {
+                    return static_cast<double>(q->pendingEntries());
+                });
+            eventqStats_.formula(
+                prefix + ".overflowSpills",
+                "insertions beyond the ladder horizon (overflow heap)",
+                [q]() {
+                    return static_cast<double>(q->overflowSpills());
+                });
+            eventqStats_.formula(
+                prefix + ".mailboxOverflows",
+                "cross-domain posts that missed the ring and took the "
+                "locked fallback",
+                [q]() {
+                    return static_cast<double>(q->mailboxOverflows());
+                });
+        }
+    }
+
+    // Coordinator observability (parallel runs only): how wide the
+    // windows are, how much work each grant covers, and how much wall
+    // time the barriers cost.
+    if (loop_) {
+        ParallelLoop *loop = loop_.get();
+        parallelStats_.formula(
+            "lookaheadTicks", "conservative window width L",
+            [loop]() { return static_cast<double>(loop->lookahead()); });
+        parallelStats_.formula(
+            "windows", "synchronization rounds run",
+            [loop]() { return static_cast<double>(loop->windows()); });
+        parallelStats_.formula(
+            "grants", "shard releases issued across all windows",
+            [loop]() { return static_cast<double>(loop->grants()); });
+        const struct { const char *name; Domain d; } domains[] = {
+            {"eventsBorder", Domain::border},
+            {"eventsGpu", Domain::gpuCluster},
+            {"eventsDram", Domain::dram},
+        };
+        for (const auto &dom : domains) {
+            const Domain d = dom.d;
+            parallelStats_.formula(
+                dom.name, "events executed inside grants on this shard",
+                [loop, d]() {
+                    return static_cast<double>(loop->executedIn(d));
+                });
+        }
+        parallelStats_.formula(
+            "eventsPerGrant",
+            "events a released shard averages per window",
+            [loop]() {
+                std::uint64_t total = 0;
+                for (std::size_t i = 0; i < numDomains; ++i)
+                    total += loop->executedIn(static_cast<Domain>(i));
+                return loop->grants() != 0
+                           ? static_cast<double>(total) /
+                                 static_cast<double>(loop->grants())
+                           : 0.0;
+            });
+        parallelStats_.formula(
+            "coordinatorSyncSeconds",
+            "wall time in serialized barrier work (drains + head scan)",
+            [loop]() {
+                return static_cast<double>(loop->coordinatorSyncNanos()) *
+                       1e-9;
+            });
+        parallelStats_.formula(
+            "coordinatorStallSeconds",
+            "wall time waiting for released shards at the barrier",
+            [loop]() {
+                return static_cast<double>(
+                           loop->coordinatorStallNanos()) *
+                       1e-9;
+            });
+    }
 }
 
 System::~System() = default;
@@ -282,8 +424,6 @@ System::~System() = default;
 EventQueue &
 System::queueFor(Domain d)
 {
-    if (!config_.parallelLoop)
-        return eventQueue_;
     switch (d) {
       case Domain::gpuCluster:
         return *gpuQueue_;
@@ -370,7 +510,16 @@ System::run(Workload &workload, Process &proc)
     const std::uint64_t mem_ops_before = gpu_->memOpsIssued();
 
     bool finished = false;
-    gpu_->launch(workload, proc, [&finished]() { finished = true; });
+    gpu_->launch(workload, proc, [this, &finished]() {
+        // Runs on the GPU queue when the last wavefront retires. The
+        // completion notice crosses back into the border domain like
+        // any other signal, so host-side readers (the downgrade
+        // injector, the watchdog done-probe) never race with the GPU
+        // shard — and serial runs see the identical +L hop.
+        eventQueue_.scheduleLambda(
+            [&finished]() { finished = true; },
+            gpuQueue_->curTick() + config_.crossDomainLatency);
+    });
     startDowngradeInjector(proc, &finished);
 
     if (watchdog_) {
@@ -474,7 +623,7 @@ System::collect(const std::string &workload_name, Tick runtime,
 }
 
 void
-System::dumpStats(std::ostream &os) const
+System::dumpSimStats(std::ostream &os) const
 {
     dram_->statGroup().print(os);
     cpuCore_->statGroup().print(os);
@@ -495,6 +644,42 @@ System::dumpStats(std::ostream &os) const
         faultEngine_->statGroup().print(os);
     for (const stats::StatGroup *group : extraStats_)
         group->print(os);
+}
+
+void
+System::dumpSimStatsJson(std::ostream &os) const
+{
+    bool first = true;
+    os << "{";
+    dram_->statGroup().printJsonInto(os, first);
+    cpuCore_->statGroup().printJsonInto(os, first);
+    cpuL1_->statGroup().printJsonInto(os, first);
+    cpuL2_->statGroup().printJsonInto(os, first);
+    coherence_->statGroup().printJsonInto(os, first);
+    bus_->statGroup().printJsonInto(os, first);
+    kernel_->statGroup().printJsonInto(os, first);
+    ats_->statGroup().printJsonInto(os, first);
+    if (borderControl_)
+        borderControl_->statGroup().printJsonInto(os, first);
+    if (capiL2_)
+        capiL2_->statGroup().printJsonInto(os, first);
+    if (iommuFrontend_)
+        iommuFrontend_->statGroup().printJsonInto(os, first);
+    gpu_->statGroup().printJsonInto(os, first);
+    if (faultEngine_)
+        faultEngine_->statGroup().printJsonInto(os, first);
+    for (const stats::StatGroup *group : extraStats_)
+        group->printJsonInto(os, first);
+    os << "}";
+}
+
+void
+System::dumpStats(std::ostream &os) const
+{
+    dumpSimStats(os);
+    eventqStats_.print(os);
+    if (loop_)
+        parallelStats_.print(os);
     allocProf_.print(os);
 }
 
@@ -522,6 +707,9 @@ System::dumpStatsJson(std::ostream &os) const
         faultEngine_->statGroup().printJsonInto(os, first);
     for (const stats::StatGroup *group : extraStats_)
         group->printJsonInto(os, first);
+    eventqStats_.printJsonInto(os, first);
+    if (loop_)
+        parallelStats_.printJsonInto(os, first);
     allocProf_.printJsonInto(os, first);
     os << "}";
 }

@@ -18,6 +18,7 @@
 #include "bc/border_control.hh"
 #include "cache/coherence_point.hh"
 #include "cpu/cpu_core.hh"
+#include "config/domain_bridges.hh"
 #include "config/system_config.hh"
 #include "gpu/gpu.hh"
 #include "mem/dram.hh"
@@ -60,10 +61,12 @@ class System
     const SystemConfig &config() const { return config_; }
     EventQueue &eventQueue() { return eventQueue_; }
     /**
-     * The queue components of @p d schedule into: the primary
-     * eventQueue_ in serial mode, the domain's shard queue when
-     * config.parallelLoop is set. Counters and curTick() read the
-     * same either way (shard queues delegate to the primary).
+     * The queue components of @p d schedule into. The three domain
+     * queues always exist: in serial mode the GPU and DRAM queues are
+     * facades over the border queue's single ladder (one clock, one
+     * execution order), in parallel mode they are real shards with
+     * their own threads. Components bind to their domain's queue
+     * either way, which is what keeps the two modes bit-identical.
      */
     EventQueue &queueFor(Domain d);
     /** Null unless config.parallelLoop. */
@@ -116,6 +119,18 @@ class System
      */
     void dumpStatsJson(std::ostream &os) const;
 
+    /**
+     * Simulated-state statistics only: the component groups (plus any
+     * registered extra groups), without the host-side blocks
+     * (system.allocprof, system.eventq, system.parallel). This is the
+     * dump serial-vs-parallel bit-identity comparisons use — host
+     * counters legitimately depend on the thread interleaving, the
+     * simulation itself must not.
+     */
+    void dumpSimStats(std::ostream &os) const;
+    /** JSON flavor of dumpSimStats (flat object, same key scheme). */
+    void dumpSimStatsJson(std::ostream &os) const;
+
   private:
     RunResult collect(const std::string &workload_name, Tick runtime,
                       std::uint64_t mem_ops, bool hung) const;
@@ -127,10 +142,10 @@ class System
     SystemConfig config_;
     EventQueue eventQueue_;
     /**
-     * Shard queues of the parallel loop (null in serial mode).
+     * The GPU-cluster and DRAM domain queues: serial facades or
+     * parallel shards of the border queue depending on the config.
      * Declared right after the primary so they outlive every
-     * component but are destroyed before the primary they delegate
-     * their counters to.
+     * component but are destroyed before the primary they group with.
      */
     std::unique_ptr<EventQueue> gpuQueue_;
     std::unique_ptr<EventQueue> dramQueue_;
@@ -157,10 +172,16 @@ class System
     std::unique_ptr<fault::Watchdog> watchdog_;
     /** "system.allocprof" counters, printed last by dumpStats(). */
     stats::StatGroup allocProf_;
+    /** "system.eventq" ladder/mailbox internals, one block per queue. */
+    stats::StatGroup eventqStats_;
+    /** "system.parallel" coordinator counters (parallel runs only). */
+    stats::StatGroup parallelStats_;
     /** Externally owned groups appended to the stat dumps. */
     std::vector<const stats::StatGroup *> extraStats_;
     std::unique_ptr<BackingStore> store_;
     std::unique_ptr<Dram> dram_;
+    /** Border -> DRAM crossing; the coherence point's memory path. */
+    std::unique_ptr<CrossDomainPort> borderToDram_;
     std::unique_ptr<CoherencePoint> coherence_;
     std::unique_ptr<MemBus> bus_;
     std::unique_ptr<Kernel> kernel_;
@@ -171,7 +192,11 @@ class System
     std::unique_ptr<BorderControl> borderControl_;
     std::unique_ptr<Cache> capiL2_;
     std::unique_ptr<IommuFrontend> iommuFrontend_;
+    /** GPU cluster -> border crossing; the GPU's memory path. */
+    std::unique_ptr<CrossDomainPort> gpuToBorder_;
     std::unique_ptr<Gpu> gpu_;
+    /** Border -> GPU crossing for the kernel's control commands. */
+    std::unique_ptr<AcceleratorPort> accelPort_;
     /**
      * Sharded-loop coordinator (null in serial mode). Last member:
      * its worker threads are joined before anything else tears down.

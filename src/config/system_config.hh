@@ -139,9 +139,22 @@ struct SystemConfig {
      * Drive the run with the domain-sharded parallel event loop (GPU
      * cluster / border / DRAM shards on their own threads; see
      * sim/parallel_loop.hh) instead of the serial loop. Results are
-     * bit-identical to the serial loop by construction.
+     * bit-identical to the serial loop by construction. Incompatible
+     * with fault injection and tracing (both assume a single host
+     * thread); the builder rejects such configs.
      */
     bool parallelLoop = false;
+
+    /**
+     * Minimum latency of any interaction crossing a domain border
+     * (GPU cluster <-> border host <-> DRAM), in ticks. This models
+     * the interconnect hop between the accelerator, the border
+     * complex, and memory — and doubles as the conservative-PDES
+     * lookahead of the parallel loop. Applied identically in serial
+     * and sharded runs, so the two stay bit-identical. Default: one
+     * GPU clock period.
+     */
+    Tick crossDomainLatency = 1429;
 
     /** Derived: GPU clock period in ticks. */
     Tick gpuPeriod() const { return periodFromFrequency(gpuFreqHz); }

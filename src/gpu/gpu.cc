@@ -210,14 +210,50 @@ Gpu::issuePhys(unsigned cu, const WorkItem &item,
             },
             clockEdge(params_.l1TlbLatency));
     } else {
-        ats_.translate(asid_, item.vaddr, item.write,
-                       [this, cu, proceed = std::move(proceed)](
-                           bool ok, const TlbEntry &entry) mutable {
-                           if (ok)
-                               l1Tlbs_[cu]->insert(entry);
-                           proceed(ok, entry);
-                       });
+        translateVia(item.vaddr, item.write,
+                     [this, cu, proceed = std::move(proceed)](
+                         bool ok, const TlbEntry &entry) mutable {
+                         if (ok)
+                             l1Tlbs_[cu]->insert(entry);
+                         proceed(ok, entry);
+                     });
     }
+}
+
+void
+Gpu::translateVia(Addr vaddr, bool write, Ats::Callback cb)
+{
+    if (hopQueue_ == nullptr) {
+        // No border hop wired (unit tests): synchronous ATS.
+        ats_.translate(asid_, vaddr, write, std::move(cb));
+        return;
+    }
+    // Request hop: deliver the translate to the border domain at our
+    // tick + L. Completion hop: when the ATS answers (border side,
+    // possibly after a long page walk), copy the entry and deliver the
+    // callback back on our queue at the *border's* tick + L — each
+    // side only ever reads its own clock.
+    Ats *ats = &ats_;
+    EventQueue *gpuq = &eventQueue();
+    EventQueue *borderq = hopQueue_;
+    const Tick latency = hopLatency_;
+    const Asid asid = asid_;
+    borderq->scheduleLambda(
+        [ats, gpuq, borderq, latency, asid, vaddr, write,
+         cb = std::move(cb)]() mutable {
+            ats->translate(
+                asid, vaddr, write,
+                [gpuq, borderq, latency, cb = std::move(cb)](
+                    bool ok, const TlbEntry &entry) mutable {
+                    TlbEntry copy = entry;
+                    gpuq->scheduleLambda(
+                        [ok, copy, cb = std::move(cb)]() mutable {
+                            cb(ok, copy);
+                        },
+                        borderq->curTick() + latency);
+                });
+        },
+        eventQueue().curTick() + latency);
 }
 
 void

@@ -117,6 +117,22 @@ class Gpu : public SimObject, public AcceleratorControl
     Cache *l1Cache(unsigned cu);
     Tlb *l1Tlb(unsigned cu);
 
+    /**
+     * Route TLB-miss translation requests through the border domain's
+     * queue with @p latency each way, instead of calling the ATS
+     * synchronously. The ATS (page walker and all) lives on the host
+     * side of the border, so in the sharded build the request and the
+     * completion must each be a latency-carrying message; the builder
+     * wires this in both serial and parallel modes so results stay
+     * bit-identical. Unset (unit tests), translate stays synchronous.
+     */
+    void
+    setCrossDomainHop(EventQueue *border_queue, Tick latency)
+    {
+        hopQueue_ = border_queue;
+        hopLatency_ = latency;
+    }
+
     std::uint64_t memOpsIssued() const
     {
         return static_cast<std::uint64_t>(memOps_.value());
@@ -133,6 +149,7 @@ class Gpu : public SimObject, public AcceleratorControl
                    std::function<void(bool denied)> done);
     void issueIommu(const WorkItem &item,
                     std::function<void(bool denied)> done);
+    void translateVia(Addr vaddr, bool write, Ats::Callback cb);
     void finishMemOp(bool denied, std::function<void(bool)> done);
     Tick clockEdge(Cycles cycles = 0) const;
 
@@ -140,6 +157,8 @@ class Gpu : public SimObject, public AcceleratorControl
     Ats &ats_;
     MemDevice &memPath_;
     PacketPool *pool_;
+    EventQueue *hopQueue_ = nullptr;
+    Tick hopLatency_ = 0;
 
     std::vector<std::unique_ptr<ComputeUnit>> cus_;
     std::vector<std::unique_ptr<Tlb>> l1Tlbs_;

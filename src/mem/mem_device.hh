@@ -34,6 +34,15 @@ class MemDevice
 /**
  * Deliver @p pkt's response at tick @p when via the event queue.
  *
+ * If the packet crossed a domain border on the way in (homeQueue set
+ * by the first CrossDomainPort it traversed), the response callback is
+ * delivered on the requester's own queue one cross-domain latency
+ * later — the callback touches requester-side state, so it must run
+ * on the requester's shard, and the return trip over the interconnect
+ * is not free. The hop is charged exactly once per response no matter
+ * how many devices forwarded the request (the border complex is one
+ * package; only the accelerator <-> host boundary pays).
+ *
  * If Border Control armed a response gate (responseGateTick != 0, the
  * §3.4.1 parallel read check), the callback is deferred through one
  * more queue hop to max(now, gate) — the same two-hop schedule the
@@ -45,8 +54,11 @@ respondAt(EventQueue &eq, const PacketPtr &pkt, Tick when)
 {
     if (!pkt->onResponse)
         return;
-    EventQueue *eqp = &eq;
-    eq.scheduleLambda([eqp, pkt]() {
+    const bool cross =
+        pkt->homeQueue != nullptr && pkt->homeQueue != &eq;
+    EventQueue *eqp = cross ? pkt->homeQueue : &eq;
+    const Tick fire = cross ? when + eq.crossLatency() : when;
+    eqp->scheduleLambda([eqp, pkt]() {
         if (pkt->onResponse) {
             // Watchdog food: every delivered response is forward
             // progress (a plain host-side counter bump).
@@ -70,7 +82,7 @@ respondAt(EventQueue &eq, const PacketPtr &pkt, Tick when)
                 cb(*pkt);
             }
         }
-    }, when);
+    }, fire);
 }
 
 } // namespace bctrl

@@ -19,6 +19,7 @@
 #ifndef BCTRL_MEM_PACKET_HH
 #define BCTRL_MEM_PACKET_HH
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <utility>
@@ -28,6 +29,8 @@
 #include "sim/types.hh"
 
 namespace bctrl {
+
+class EventQueue;
 
 enum class MemCmd : std::uint8_t {
     Read,       ///< demand read (also used for cache fills)
@@ -114,8 +117,22 @@ struct Packet {
      * packets. Purely observational — no simulated behavior reads it.
      */
     std::uint64_t traceId = 0;
-    /** Intrusive reference count; managed by PacketPtr only. */
-    std::uint32_t refCount = 0;
+    /**
+     * The queue of the domain this packet was issued from, stamped by
+     * the first cross-domain port it traverses (null until then, and
+     * forever for domain-local traffic). respondAt() routes the
+     * response callback back to this queue — with one cross-domain
+     * latency — when the responder lives in another domain, so
+     * callbacks always run on their owner's shard.
+     */
+    EventQueue *homeQueue = nullptr;
+    /**
+     * Intrusive reference count; managed by PacketPtr only. Atomic
+     * (relaxed increments, acquire-release decrement) because
+     * PacketPtr copies travel between shard threads in the parallel
+     * loop.
+     */
+    std::atomic<std::uint32_t> refCount{0};
     /** Owning pool, or null for heap-fallback packets. */
     PacketPool *pool = nullptr;
 
@@ -148,13 +165,13 @@ class PacketPtr
     explicit PacketPtr(Packet *pkt) noexcept : pkt_(pkt)
     {
         if (pkt_ != nullptr)
-            ++pkt_->refCount;
+            pkt_->refCount.fetch_add(1, std::memory_order_relaxed);
     }
 
     PacketPtr(const PacketPtr &other) noexcept : pkt_(other.pkt_)
     {
         if (pkt_ != nullptr)
-            ++pkt_->refCount;
+            pkt_->refCount.fetch_add(1, std::memory_order_relaxed);
     }
 
     PacketPtr(PacketPtr &&other) noexcept : pkt_(other.pkt_)
@@ -188,7 +205,10 @@ class PacketPtr
     void
     reset() noexcept
     {
-        if (pkt_ != nullptr && --pkt_->refCount == 0)
+        // acq_rel: the thread that drops the last reference must see
+        // every other owner's writes before recycling the packet.
+        if (pkt_ != nullptr &&
+            pkt_->refCount.fetch_sub(1, std::memory_order_acq_rel) == 1)
             releasePacket(pkt_);
         pkt_ = nullptr;
     }
@@ -210,7 +230,9 @@ class PacketPtr
     std::uint32_t
     useCount() const noexcept
     {
-        return pkt_ != nullptr ? pkt_->refCount : 0;
+        return pkt_ != nullptr
+                   ? pkt_->refCount.load(std::memory_order_relaxed)
+                   : 0;
     }
 
     friend bool

@@ -54,6 +54,9 @@ PacketPtr
 PacketPool::make(MemCmd cmd, Addr paddr, unsigned size, Requestor req,
                  Asid asid)
 {
+    std::unique_lock<std::mutex> lock(mutex_, std::defer_lock);
+    if (threadSafe_)
+        lock.lock();
     Packet *pkt;
     if (!free_.empty()) {
         pkt = free_.back();
@@ -84,6 +87,7 @@ PacketPool::make(MemCmd cmd, Addr paddr, unsigned size, Requestor req,
     pkt->responded = false;
     pkt->responseGateTick = 0;
     pkt->traceId = ++nextTraceId_;
+    pkt->homeQueue = nullptr;
 
     if (++inFlight_ > peakInFlight_)
         peakInFlight_ = inFlight_;
@@ -93,10 +97,16 @@ PacketPool::make(MemCmd cmd, Addr paddr, unsigned size, Requestor req,
 void
 PacketPool::release(Packet *pkt)
 {
+    // Drop any captured callback state now (it may own references).
+    // Outside the lock: destroying a capture can release another
+    // packet, re-entering this pool.
+    pkt->onResponse = nullptr;
+    pkt->homeQueue = nullptr;
+    std::unique_lock<std::mutex> lock(mutex_, std::defer_lock);
+    if (threadSafe_)
+        lock.lock();
     BCTRL_ASSERT_MSG(inFlight_ > 0, "pool release with nothing in flight");
     --inFlight_;
-    // Drop any captured callback state now (it may own references).
-    pkt->onResponse = nullptr;
     if (free_.size() >= maxPoolSize) {
         delete pkt;
         return;

@@ -43,6 +43,7 @@ class HostProfiler
         borderControl, ///< Border Control check path
         ats,           ///< translation service / page walks
         dram,          ///< DRAM channel model
+        coordinator,   ///< parallel-loop window barriers (sync work)
         numSlots,
     };
 
@@ -54,7 +55,7 @@ class HostProfiler
     {
         static const char *const kNames[numSlots] = {
             "eventLoop", "gpu",  "cache", "coherence",
-            "borderControl", "ats", "dram",
+            "borderControl", "ats", "dram", "coordinator",
         };
         return kNames[static_cast<std::size_t>(slot)];
     }

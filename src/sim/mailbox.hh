@@ -5,19 +5,18 @@
  *
  * Each shard EventQueue owns one ring per producer domain, so every
  * ring has exactly one producer (the foreign domain's worker thread)
- * and one consumer (the owning domain's worker, or the coordinator
- * between grants). Producer and consumer indices are synchronized with
- * acquire/release atomics; under the strict-order grant protocol the
- * coordinator's handoff mutex additionally sequences every push before
- * the matching pop, so the ring is data-race-free under TSan and the
- * drain order is deterministic.
+ * and one consumer (the coordinator, which drains all mailboxes at a
+ * window barrier while every worker is parked). Producer and consumer
+ * indices are synchronized with acquire/release atomics, so the ring
+ * is data-race-free under TSan; the drain order (per ring FIFO, rings
+ * visited in domain order) is deterministic because entries are merged
+ * into the ladder by their total-order key, not their arrival order.
  *
- * Capacity is a hard bound, not a heuristic: a producer can only post
- * while its grant bound allows it to run, and every cross-post shrinks
- * that bound to the posted key, so the number of undrained posts per
- * grant is bounded by the events schedulable below one cross-domain
- * latency. push() panics on overflow rather than silently growing,
- * because growth would not be safe against a concurrent consumer.
+ * Capacity is sized for the worst single-event burst observed (a full
+ * accelerator-L2 flush posts one writeback per line, up to 4096 for
+ * the largest configured cache). tryPush() reports overflow instead of
+ * panicking so the poster can fall back to a locked overflow list:
+ * growth in place would not be safe against a concurrent consumer.
  */
 
 #ifndef BCTRL_SIM_MAILBOX_HH
@@ -30,8 +29,8 @@
 
 namespace bctrl {
 
-/** Entries a cross-domain mailbox can hold before push() panics. */
-constexpr std::size_t crossMailboxCapacity = 1024;
+/** Entries a cross-domain mailbox ring holds before posts overflow. */
+constexpr std::size_t crossMailboxCapacity = 8192;
 
 template <typename T, std::size_t Capacity>
 class SpscRing
@@ -40,21 +39,30 @@ class SpscRing
                   "SpscRing capacity must be a power of two");
 
   public:
-    /** Producer side: append @p v; panics if the ring is full. */
-    void
-    push(const T &v)
+    /**
+     * Producer side: append @p v.
+     * @return false if the ring is full (nothing was written).
+     */
+    bool
+    tryPush(const T &v)
     {
         const std::size_t head =
             head_.load(std::memory_order_relaxed);
         const std::size_t tail =
             tail_.load(std::memory_order_acquire);
-        panic_if(head - tail >= Capacity,
-                 "SPSC mailbox overflow (%zu entries): a grant "
-                 "cross-posted more events than one lookahead window "
-                 "can hold",
-                 Capacity);
+        if (head - tail >= Capacity)
+            return false;
         slots_[head & (Capacity - 1)] = v;
         head_.store(head + 1, std::memory_order_release);
+        return true;
+    }
+
+    /** Producer side: append @p v; panics if the ring is full. */
+    void
+    push(const T &v)
+    {
+        panic_if(!tryPush(v),
+                 "SPSC mailbox overflow (%zu entries)", Capacity);
     }
 
     /**

@@ -1,21 +1,92 @@
 #include "sim/parallel_loop.hh"
 
+#include <chrono>
+
 #include "sim/contracts.hh"
+#include "sim/host_profiler.hh"
 #include "sim/logging.hh"
 
 namespace bctrl {
 
-ParallelLoop::ParallelLoop(EventQueue &border, EventQueue &gpu,
-                           EventQueue &dram)
-    : queues_{&border, &gpu, &dram}
+namespace {
+
+/** One polite busy-wait iteration. */
+inline void
+cpuRelax()
 {
-    panic_if(border.domain() != Domain::border ||
-                 gpu.domain() != Domain::gpuCluster ||
-                 dram.domain() != Domain::dram,
-             "ParallelLoop queues must be (border, gpuCluster, dram)");
-    border.joinShardGroup(&border);
-    gpu.joinShardGroup(&border);
-    dram.joinShardGroup(&border);
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#elif defined(__aarch64__)
+    asm volatile("yield");
+#else
+    std::this_thread::yield();
+#endif
+}
+
+/**
+ * True when the host has fewer cores than the loop has threads
+ * (coordinator + one per domain): busy-waiting then only steals time
+ * from the thread being awaited, so back off to the scheduler at once.
+ */
+bool
+scarceCores()
+{
+    static const bool scarce =
+        std::thread::hardware_concurrency() < numDomains + 1;
+    return scarce;
+}
+
+/**
+ * Spin until @p seq differs from @p last (acquire), backing off from
+ * pause to yield to a short sleep so idle threads (between runs, or a
+ * shard starved for several windows) stop burning a core while an
+ * active window still wakes in nanoseconds. On machines without a
+ * core per thread the pause phase is skipped entirely — the awaited
+ * thread needs this core to make the awaited change happen.
+ */
+std::uint64_t
+awaitChange(const std::atomic<std::uint64_t> &seq, std::uint64_t last)
+{
+    const std::uint64_t pauseLimit = scarceCores() ? 0 : 4096;
+    const std::uint64_t yieldLimit = pauseLimit + 61440;
+    std::uint64_t v;
+    std::uint64_t spins = 0;
+    while ((v = seq.load(std::memory_order_acquire)) == last) {
+        ++spins;
+        if (spins < pauseLimit) {
+            cpuRelax();
+        } else if (spins < yieldLimit) {
+            std::this_thread::yield();
+        } else {
+            std::this_thread::sleep_for(std::chrono::microseconds(50));
+        }
+    }
+    return v;
+}
+
+/**
+ * Host wall-clock for the coordinator's sync/stall counters. Feeds
+ * stats only, never simulated state, so runs stay bit-identical.
+ */
+// bclint:allow(nondeterminism)
+using HostClock = std::chrono::steady_clock;
+
+std::uint64_t
+nanosSince(HostClock::time_point t0)
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            HostClock::now() - t0)
+            .count());
+}
+
+} // namespace
+
+ParallelLoop::ParallelLoop(EventQueue &border, EventQueue &gpu,
+                           EventQueue &dram, Tick lookahead)
+    : queues_{&border, &gpu, &dram}, lookahead_(lookahead)
+{
+    EventQueue::formShardGroup(border, gpu, dram, lookahead);
 }
 
 ParallelLoop::~ParallelLoop()
@@ -23,11 +94,9 @@ ParallelLoop::~ParallelLoop()
     if (!threadsStarted_)
         return;
     for (Worker &w : workers_) {
-        {
-            std::lock_guard<std::mutex> lk(w.mutex);
-            w.cmd = Worker::Cmd::quit;
-        }
-        w.cv.notify_all();
+        w.quit.store(true, std::memory_order_relaxed);
+        w.go.store(w.go.load(std::memory_order_relaxed) + 1,
+                   std::memory_order_release);
         w.thread.join();
     }
 }
@@ -47,78 +116,99 @@ void
 ParallelLoop::workerMain(std::size_t idx)
 {
     Worker &w = workers_[idx];
+    std::uint64_t seen = 0;
     for (;;) {
-        Worker::Cmd cmd;
-        {
-            std::unique_lock<std::mutex> lk(w.mutex);
-            w.cv.wait(lk,
-                      [&] { return w.cmd != Worker::Cmd::none; });
-            cmd = w.cmd;
-            w.cmd = Worker::Cmd::none;
-        }
-        if (cmd == Worker::Cmd::quit)
+        seen = awaitChange(w.go, seen);
+        if (w.quit.load(std::memory_order_relaxed))
             return;
-        // The grant runs outside the lock: the coordinator is parked
-        // in grant() until done flips, so this thread is the only one
-        // touching the shard group's simulated state.
-        const std::uint64_t n = queues_[idx]->runGranted(w.bound);
-        {
-            std::lock_guard<std::mutex> lk(w.mutex);
-            w.executed += n;
-            w.done = true;
-        }
-        w.cv.notify_all();
+        // The window runs between the go acquire and the done
+        // release: the coordinator never touches this shard's state
+        // inside that span, and every coordinator-side mutation
+        // (mailbox drains) happened before the go release-store.
+        w.executed += queues_[idx]->runGranted(w.bound);
+        w.done.store(seen, std::memory_order_release);
     }
-}
-
-void
-ParallelLoop::grant(std::size_t idx, const EventQueue::OrderKey &bound)
-{
-    Worker &w = workers_[idx];
-    {
-        std::lock_guard<std::mutex> lk(w.mutex);
-        w.bound = bound;
-        w.done = false;
-        w.cmd = Worker::Cmd::go;
-    }
-    w.cv.notify_all();
-    std::unique_lock<std::mutex> lk(w.mutex);
-    w.cv.wait(lk, [&] { return w.done; });
 }
 
 Tick
 ParallelLoop::run()
 {
     ensureThreads();
-    EventQueue &primary = *queues_[0];
-    primary.stopRequested_ = false;
-    while (!primary.stopRequested_) {
-        // Structural scan: drain mailboxes and read each shard's head
-        // key. Safe from this thread — every worker is parked.
-        EventQueue::OrderKey keys[numDomains];
-        bool have[numDomains];
-        for (std::size_t i = 0; i < numDomains; ++i)
-            have[i] = queues_[i]->headKey(keys[i]);
+    for (EventQueue *q : queues_)
+        q->stopRequested_ = false;
+    // The eventLoop slot spans the whole parallel run: it is the
+    // denominator for events/s, mirroring the serial loop's
+    // per-callback wrap.
+    HostProfiler::Scope runScope(profiler_,
+                                 HostProfiler::Slot::eventLoop);
+    for (;;) {
+        bool stop = false;
+        for (const EventQueue *q : queues_)
+            stop = stop || q->stopRequested_;
+        if (stop)
+            break;
 
-        std::size_t next = numDomains;
-        for (std::size_t i = 0; i < numDomains; ++i)
-            if (have[i] && (next == numDomains || keys[i] < keys[next]))
-                next = i;
-        if (next == numDomains)
-            break; // every shard drained
+        // Barrier work, serialized on this thread while every worker
+        // is parked: fold last window's cross posts into the ladders,
+        // then scan the shard heads.
+        Tick heads[numDomains];
+        Tick m = tickNever;
+        {
+            HostProfiler::Scope sync(profiler_,
+                                     HostProfiler::Slot::coordinator);
+            const auto t0 = HostClock::now();
+            for (std::size_t i = 0; i < numDomains; ++i) {
+                queues_[i]->drainCrossPosts();
+                heads[i] = queues_[i]->nextEventTick();
+                if (heads[i] < m)
+                    m = heads[i];
+            }
+            EventQueue::rebalanceLambdaPools(queues_);
+            syncNanos_ += nanosSince(t0);
+        }
+        if (m == tickNever)
+            break; // every shard and mailbox drained
 
-        // Conservative bound: the minimal head key of the other
-        // shards. Keys are unique, so the granted head is strictly
-        // below the bound and every grant makes progress.
-        EventQueue::OrderKey bound; // +infinity sentinel
-        for (std::size_t i = 0; i < numDomains; ++i)
-            if (i != next && have[i] && keys[i] < bound)
-                bound = keys[i];
-
-        grant(next, bound);
-        ++grants_;
+        // Uniform conservative window: every shard may run strictly
+        // below m + L. Messages posted inside the window fire at
+        // sender-tick + L >= m + L, beyond the bound, so none can be
+        // needed (or even merged) before the next barrier. The bound
+        // must be uniform — a per-shard min-of-others bound would let
+        // an i -> j -> i echo land inside i's window.
+        const Tick bound = m + lookahead_;
+        std::uint64_t expect[numDomains] = {};
+        bool released[numDomains] = {};
+        for (std::size_t i = 0; i < numDomains; ++i) {
+            if (heads[i] >= bound)
+                continue; // nothing runnable: skip the handoff
+            Worker &w = workers_[i];
+            w.bound = bound;
+            expect[i] = w.go.load(std::memory_order_relaxed) + 1;
+            released[i] = true;
+            ++grants_;
+            w.go.store(expect[i], std::memory_order_release);
+        }
+        ++windows_;
+        // The shard holding m always has head < bound, so every
+        // window executes at least one event: progress is guaranteed.
+        {
+            const auto t0 = HostClock::now();
+            for (std::size_t i = 0; i < numDomains; ++i)
+                if (released[i])
+                    awaitChange(workers_[i].done, expect[i] - 1);
+            stallNanos_ += nanosSince(t0);
+        }
     }
-    return primary.curTick();
+    // Re-synchronize the shard clocks to the global maximum so
+    // quiescent reads (utilization formulas, release-phase schedules,
+    // RunResult collection) agree with the serial oracle's final tick.
+    Tick tmax = 0;
+    for (const EventQueue *q : queues_)
+        if (q->curTick_ > tmax)
+            tmax = q->curTick_;
+    for (EventQueue *q : queues_)
+        q->curTick_ = tmax;
+    return tmax;
 }
 
 } // namespace bctrl

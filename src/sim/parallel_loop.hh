@@ -1,47 +1,54 @@
 /**
  * @file
- * Domain-sharded parallel event loop (conservative PDES coordinator).
+ * Domain-sharded parallel event loop (windowed conservative PDES).
  *
  * Components are partitioned into Domain shards (GPU cluster, border
  * host, DRAM), each with its own EventQueue bound to its own worker
- * thread. The queues form a shard group: they share the primary's
- * global clock, sequence counter, and counters (see EventQueue), and
- * cross-domain schedules travel through SPSC mailboxes instead of
- * touching a foreign ladder directly.
+ * thread. Every cross-domain interaction is an asynchronous message
+ * carrying at least the configured cross-domain latency L (the
+ * lookahead), posted through SPSC mailboxes instead of touching a
+ * foreign ladder directly — the simulated machine's own interconnect
+ * latencies, made load-bearing.
  *
- * This implements the strict-order variant of conservative PDES: the
- * coordinator repeatedly grants the shard holding the globally minimal
- * (tick, priority, sequence) key the right to run, bounded by the
- * minimal head key of every other shard; a worker additionally stops
- * at the smallest key it cross-posted mid-grant, since that post may
- * be the true global next event. Because keys are unique, the events
- * execute in exactly the serial order, and — the counters being
- * delegated to the primary — every RunResult is bit-identical to the
- * serial loop's by induction over events.
+ * The coordinator runs the classic conservative window protocol
+ * (YAWNS/CMB-style): each round it computes the global minimum head
+ * tick m over all shards, then releases every shard whose head lies
+ * below the uniform bound m + L to execute freely up to (strictly
+ * below) that bound. Any message a shard posts during the window
+ * fires at or after its current tick plus L >= m + L, i.e. at or
+ * beyond the bound — so no shard can ever receive a message for a
+ * tick it has already passed, and mailboxes only need draining once
+ * per window, at the barrier, by the coordinator. One synchronization
+ * round therefore covers thousands of events instead of one.
  *
- * The strict bound means grants do not yet overlap in wall-time: the
- * effective lookahead between domains is zero because components make
- * synchronous same-tick cross-domain calls (a GPU L2 miss invokes the
- * bus and Border Control inline). DESIGN.md §14 spells out the
- * contract: overlap is unlocked per call site by converting those
- * synchronous calls to mailbox-scheduled events, which the bclint
- * rule `cross-domain-direct-call` inventories. The thread structure,
- * mailboxes, and determinism proof are exactly the ones the
- * overlapping schedule will use.
+ * Determinism: order keys are stamped from per-sender-domain counters
+ * (see EventQueue::Entry), so a shard executes exactly the same
+ * events with exactly the same keys in the same per-domain order as
+ * the serial-group oracle; only the host interleaving across domains
+ * differs, and no simulated state is shared across domains except by
+ * message. The serial ladder path stays bit-identical and is checked
+ * by `bctrl_sweep --compare-serial`. DESIGN.md §14 has the proof
+ * sketch.
+ *
+ * Handoffs are sequence-numbered atomic spins (release/acquire), not
+ * mutex/condvar: a window barrier costs microseconds of wakeup under
+ * a condvar, which at 20M+ events/s would dominate. Workers back off
+ * to yield/sleep when idle between runs.
  */
 
 #ifndef BCTRL_SIM_PARALLEL_LOOP_HH
 #define BCTRL_SIM_PARALLEL_LOOP_HH
 
-#include <condition_variable>
+#include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <thread>
 
 #include "sim/event_queue.hh"
 #include "sim/types.hh"
 
 namespace bctrl {
+
+class HostProfiler;
 
 /**
  * Coordinator for one shard group. Construct with the three domain
@@ -52,24 +59,36 @@ class ParallelLoop
 {
   public:
     /**
-     * Form the shard group. @p border becomes the primary (global
-     * clock and counter owner); all three queues must be empty.
+     * Form the shard group. All three queues must be empty.
+     * @param lookahead the minimum cross-domain latency L in ticks
+     *        (must be > 0; every cross-domain schedule must carry at
+     *        least this much, which EventQueue asserts).
      */
-    ParallelLoop(EventQueue &border, EventQueue &gpu, EventQueue &dram);
+    ParallelLoop(EventQueue &border, EventQueue &gpu, EventQueue &dram,
+                 Tick lookahead);
     ~ParallelLoop();
 
     ParallelLoop(const ParallelLoop &) = delete;
     ParallelLoop &operator=(const ParallelLoop &) = delete;
 
     /**
-     * Run until every shard drains (or the watchdog requests a stop).
-     * Mirrors EventQueue::run(tickNever) observable behavior.
+     * Run until every shard drains (or a stop is requested).
+     * Mirrors EventQueue::run(tickNever) observable behavior; on
+     * return every shard's clock is re-synchronized to the global
+     * maximum, matching the serial oracle's final tick.
      * @return the final global tick.
      */
     Tick run();
 
-    /** Grants issued since construction (one handoff round each). */
+    /** The conservative window width L in ticks. */
+    Tick lookahead() const { return lookahead_; }
+
+    /** Worker releases issued since construction (shards granted a
+     * window; at most numDomains per window). */
     std::uint64_t grants() const { return grants_; }
+
+    /** Synchronization rounds (windows) since construction. */
+    std::uint64_t windows() const { return windows_; }
 
     /** Events executed inside grants, per domain shard. */
     std::uint64_t
@@ -78,36 +97,54 @@ class ParallelLoop
         return workers_[static_cast<std::size_t>(d)].executed;
     }
 
+    /** Wall nanoseconds the coordinator spent in serialized window
+     * work: draining mailboxes and scanning shard heads. */
+    std::uint64_t coordinatorSyncNanos() const { return syncNanos_; }
+
+    /** Wall nanoseconds the coordinator spent stalled waiting for
+     * released workers to reach the window barrier. */
+    std::uint64_t coordinatorStallNanos() const { return stallNanos_; }
+
+    /**
+     * Attach the host profiler (coordinator thread only; worker
+     * threads never touch it). run() charges its whole duration to
+     * the eventLoop slot — the events/s denominator — and the
+     * serialized barrier work to the coordinator slot.
+     */
+    void setProfiler(HostProfiler *profiler) { profiler_ = profiler; }
+
   private:
     /**
-     * Per-shard worker-thread handoff block. The mutex/condvar pair
-     * sequences every coordinator->worker grant and worker->
-     * coordinator completion, so at most one thread ever touches
-     * simulated state at a time and the group is race-free by
-     * construction (TSan-checkable, not just asserted).
+     * Per-shard worker handoff block. go/done are sequence numbers:
+     * the coordinator publishes bound and bumps go (release); the
+     * worker spins on go (acquire), runs its window, and echoes the
+     * sequence into done (release), which the coordinator awaits
+     * (acquire). All shard state crosses threads through this pair,
+     * so the group is race-free by construction (TSan-checked).
      */
-    struct Worker {
-        enum class Cmd { none, go, quit };
-
+    struct alignas(64) Worker {
         std::thread thread;
-        std::mutex mutex;
-        std::condition_variable cv;
-        Cmd cmd = Cmd::none;
-        bool done = false;
-        EventQueue::OrderKey bound;
+        std::atomic<std::uint64_t> go{0};
+        std::atomic<std::uint64_t> done{0};
+        std::atomic<bool> quit{false};
+        /** Window bound; written before the go release-store. */
+        Tick bound = 0;
+        /** Events executed; read after the done acquire-load. */
         std::uint64_t executed = 0;
     };
 
     void ensureThreads();
     void workerMain(std::size_t idx);
 
-    /** Issue one grant to shard @p idx and wait for completion. */
-    void grant(std::size_t idx, const EventQueue::OrderKey &bound);
-
     EventQueue *queues_[numDomains];
     Worker workers_[numDomains];
+    Tick lookahead_;
     bool threadsStarted_ = false;
     std::uint64_t grants_ = 0;
+    std::uint64_t windows_ = 0;
+    std::uint64_t syncNanos_ = 0;
+    std::uint64_t stallNanos_ = 0;
+    HostProfiler *profiler_ = nullptr;
 };
 
 } // namespace bctrl

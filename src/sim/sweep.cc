@@ -22,7 +22,8 @@ SweepEngine::effectiveJobs() const
 
 SweepOutcome
 SweepEngine::runPoint(const SweepPoint &point, std::size_t index,
-                      bool capture_stats, bool capture_stats_json)
+                      bool capture_stats, bool capture_stats_json,
+                      bool capture_sim_stats)
 {
     SweepOutcome out;
     out.index = index;
@@ -44,6 +45,11 @@ SweepEngine::runPoint(const SweepPoint &point, std::size_t index,
         std::ostringstream os;
         sys.dumpStatsJson(os);
         out.statsJson = os.str();
+    }
+    if (capture_sim_stats) {
+        std::ostringstream os;
+        sys.dumpSimStats(os);
+        out.simStatsDump = os.str();
     }
     if (trace::Tracer *tracer = sys.tracer()) {
         // One Chrome-trace process per run: pid = index + 1, named so
@@ -93,7 +99,8 @@ SweepEngine::run(const std::vector<SweepPoint> &points)
         // close instrumentation.
         for (std::size_t i = 0; i < points.size(); ++i)
             outcomes[i] = runPoint(points[i], i, options_.captureStats,
-                                   options_.captureStatsJson);
+                                   options_.captureStatsJson,
+                                   options_.captureSimStats);
         return outcomes;
     }
 
@@ -103,13 +110,16 @@ SweepEngine::run(const std::vector<SweepPoint> &points)
     std::atomic<std::size_t> next{0};
     const bool capture = options_.captureStats;
     const bool capture_json = options_.captureStatsJson;
-    auto worker = [&points, &outcomes, &next, capture, capture_json]() {
+    const bool capture_sim = options_.captureSimStats;
+    auto worker = [&points, &outcomes, &next, capture, capture_json,
+                   capture_sim]() {
         for (;;) {
             const std::size_t i =
                 next.fetch_add(1, std::memory_order_relaxed);
             if (i >= points.size())
                 return;
-            outcomes[i] = runPoint(points[i], i, capture, capture_json);
+            outcomes[i] = runPoint(points[i], i, capture, capture_json,
+                                   capture_sim);
         }
     };
 

@@ -60,6 +60,13 @@ struct SweepOutcome {
     /** Flat JSON stats object (only with captureStatsJson). */
     std::string statsJson;
     /**
+     * Simulated-state-only stats dump (only with captureSimStats):
+     * component counters and extra stats, no host-side blocks. This is
+     * the dump that must match byte for byte between a serial and a
+     * sharded run of the same point (System::dumpSimStats).
+     */
+    std::string simStatsDump;
+    /**
      * Chrome-trace event fragment for this run (only when the point's
      * config has a nonzero traceMask): the comma-separated event
      * objects with pid = index + 1, ready to merge into one document.
@@ -80,6 +87,9 @@ struct SweepOptions {
     bool captureStats = false;
     /** Capture each run's System::dumpStatsJson() into the outcome. */
     bool captureStatsJson = false;
+    /** Capture each run's System::dumpSimStats() into the outcome
+     * (the serial-vs-sharded bit-identity comparison surface). */
+    bool captureSimStats = false;
 };
 
 class SweepEngine
@@ -98,7 +108,8 @@ class SweepEngine
     /** Simulate a single point (used by both serial and pool paths). */
     static SweepOutcome runPoint(const SweepPoint &point,
                                  std::size_t index, bool capture_stats,
-                                 bool capture_stats_json = false);
+                                 bool capture_stats_json = false,
+                                 bool capture_sim_stats = false);
 
     /** The worker count this engine resolves to. */
     unsigned effectiveJobs() const;

@@ -1,0 +1,21 @@
+// bclint fixture: an allow annotation for a budgeted rule counts
+// against the pinned tree-wide inventory; in a budget fixture every
+// such annotation is reported, proving the rule fires.
+
+namespace bctrl {
+
+class Event;
+
+template <class Cu>
+struct Wavefront {
+    Cu &cu_;
+
+    void
+    hop(Event *ev)
+    {
+        // bclint:allow(cross-domain-direct-call)
+        cu_.eventQueue().schedule(ev, 42);
+    }
+};
+
+} // namespace bctrl

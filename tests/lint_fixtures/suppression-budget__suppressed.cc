@@ -1,0 +1,21 @@
+// bclint fixture: the budget finding is itself suppressible — the
+// annotation below carries both the budgeted rule's allow and a
+// suppression-budget allow on the same line, so nothing fires.
+
+namespace bctrl {
+
+class Event;
+
+template <class Cu>
+struct Wavefront {
+    Cu &cu_;
+
+    void
+    hop(Event *ev)
+    {
+        // bclint:allow(cross-domain-direct-call, suppression-budget)
+        cu_.eventQueue().schedule(ev, 42);
+    }
+};
+
+} // namespace bctrl

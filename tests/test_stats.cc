@@ -9,6 +9,7 @@
 #include <limits>
 #include <sstream>
 
+#include "config/system_builder.hh"
 #include "sim/stats.hh"
 
 using namespace bctrl::stats;
@@ -280,6 +281,81 @@ TEST(Stats, JsonQuoteEscapes)
     EXPECT_EQ(jsonQuote("a\\b"), "\"a\\\\b\"");
     EXPECT_EQ(jsonQuote("line\nbreak"), "\"line\\nbreak\"");
     EXPECT_EQ(jsonQuote(std::string("nul\x01", 4)), "\"nul\\u0001\"");
+}
+
+namespace {
+
+std::string
+fullStatsJson(const bctrl::System &sys)
+{
+    std::ostringstream os;
+    sys.dumpStatsJson(os);
+    return os.str();
+}
+
+std::string
+simStatsJson(const bctrl::System &sys)
+{
+    std::ostringstream os;
+    sys.dumpSimStatsJson(os);
+    return os.str();
+}
+
+bctrl::SystemConfig
+tinyStatsConfig()
+{
+    bctrl::SystemConfig cfg;
+    cfg.safety = bctrl::SafetyModel::borderControlBcc;
+    cfg.physMemBytes = 512ULL * 1024 * 1024;
+    return cfg;
+}
+
+} // namespace
+
+TEST(Stats, EventQueueInternalsExportedToJson)
+{
+    bctrl::System sys(tinyStatsConfig());
+    sys.run("uniform");
+    const std::string doc = fullStatsJson(sys);
+    // Every domain queue exports its ladder internals flat.
+    for (const char *q : {"border", "gpu", "dram"}) {
+        for (const char *stat :
+             {"stalePurged", "pendingEntries", "overflowSpills",
+              "mailboxOverflows"}) {
+            const std::string key = std::string("\"system.eventq.") +
+                                    q + "." + stat + "\":";
+            EXPECT_NE(doc.find(key), std::string::npos)
+                << "missing " << key;
+        }
+    }
+    // Host-side storage diagnostics stay out of the sim-only dump:
+    // where entries live differs legitimately between serial and
+    // sharded builds of the same run.
+    EXPECT_EQ(simStatsJson(sys).find("system.eventq"),
+              std::string::npos);
+}
+
+TEST(Stats, ParallelGroupExportedOnlyForShardedRuns)
+{
+    bctrl::SystemConfig cfg = tinyStatsConfig();
+    bctrl::System serial(cfg);
+    serial.run("uniform");
+    EXPECT_EQ(fullStatsJson(serial).find("system.parallel"),
+              std::string::npos);
+
+    cfg.parallelLoop = true;
+    bctrl::System sharded(cfg);
+    sharded.run("uniform");
+    const std::string doc = fullStatsJson(sharded);
+    for (const char *stat :
+         {"grants", "windows", "eventsPerGrant", "lookaheadTicks",
+          "coordinatorSyncSeconds", "coordinatorStallSeconds"}) {
+        const std::string key =
+            std::string("\"system.parallel.") + stat + "\":";
+        EXPECT_NE(doc.find(key), std::string::npos) << "missing " << key;
+    }
+    EXPECT_EQ(simStatsJson(sharded).find("system.parallel"),
+              std::string::npos);
 }
 
 TEST(Stats, PrintJsonEmitsFlatObject)

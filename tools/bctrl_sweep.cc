@@ -272,6 +272,9 @@ main(int argc, char **argv)
     SweepOptions sweep_opts;
     sweep_opts.jobs = effective_jobs;
     sweep_opts.captureStatsJson = !stats_json_path.empty();
+    // The bit-identity check below compares the sim-only stats dump of
+    // every run, not just the headline RunResult counters.
+    sweep_opts.captureSimStats = compare_serial;
 
     std::fprintf(stderr, "sweep: %zu runs on %u worker(s)\n",
                  points.size(), effective_jobs);
@@ -298,9 +301,12 @@ main(int argc, char **argv)
         serial_base.parallelLoop = false;
         const std::vector<SweepPoint> serial_points =
             matrixPoints(workloads, safeties, profiles, serial_base);
+        SweepOptions serial_opts;
+        serial_opts.jobs = 1;
+        serial_opts.captureSimStats = true;
         const auto ser_start = now();
         const std::vector<SweepOutcome> serial_outcomes =
-            sweep(serial_points, 1);
+            runSweep(serial_points, serial_opts);
         const std::chrono::duration<double> ser_elapsed =
             now() - ser_start;
         serial_seconds = ser_elapsed.count();
@@ -308,16 +314,35 @@ main(int argc, char **argv)
                       ? serial_seconds / par.hostSeconds
                       : 0.0;
         // Cross-check determinism: the parallel sweep must agree with
-        // the serial one bit for bit.
+        // the serial one bit for bit — every RunResult counter and the
+        // entire simulated-state stats dump, so a divergence anywhere
+        // in any component fails the run even when the headline
+        // numbers happen to agree.
         for (std::size_t i = 0; i < outcomes.size(); ++i) {
             const RunResult &a = outcomes[i].result;
             const RunResult &b = serial_outcomes[i].result;
             if (a.runtimeTicks != b.runtimeTicks ||
-                a.memOps != b.memOps ||
+                a.gpuCycles != b.gpuCycles || a.memOps != b.memOps ||
+                a.borderRequests != b.borderRequests ||
+                a.bccHits != b.bccHits || a.bccMisses != b.bccMisses ||
+                a.violations != b.violations ||
+                a.downgrades != b.downgrades ||
+                a.pageFaults != b.pageFaults ||
+                a.translations != b.translations ||
+                a.pageWalks != b.pageWalks ||
                 outcomes[i].hostEvents != serial_outcomes[i].hostEvents) {
                 std::fprintf(stderr,
                              "determinism violation at run %zu: "
                              "parallel and serial sweeps disagree\n",
+                             i);
+                return 1;
+            }
+            if (outcomes[i].simStatsDump !=
+                serial_outcomes[i].simStatsDump) {
+                std::fprintf(stderr,
+                             "determinism violation at run %zu: "
+                             "sim-stats dumps differ between the "
+                             "parallel and serial sweeps\n",
                              i);
                 return 1;
             }

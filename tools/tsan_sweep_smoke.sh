@@ -24,7 +24,10 @@ cmake -S "$src" -B "$build" \
       -DBCTRL_WERROR=ON
 
 echo "== build =="
-cmake --build "$build" --target bctrl_sweep -j "$jobs"
+cmake --build "$build" --target bctrl_sweep mailbox_stress -j "$jobs"
+
+echo "== SPSC mailbox stress under TSan (producer + consumer) =="
+"$build/tools/mailbox_stress"
 
 echo "== parallel micro sweep under TSan (4 workers) =="
 "$build/tools/bctrl_sweep" --micro --jobs 4 --quiet \
